@@ -1,0 +1,78 @@
+// Design-choice ablations beyond the paper's Fig. 2: quantifies the
+// implementation decisions DESIGN.md calls out —
+//   (a) mixhop parameterization: vector-gate vs full matrix transforms,
+//   (b) per-layer activation on/off,
+//   (c) hop set M ({0,1} vs {0,1,2} vs {0,1,2,3}),
+//   (d) adjacency self-loop weight,
+//   (e) structure-level Bernoulli-KL compression on/off.
+// Run on the Gowalla stand-in with the shared settings.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Design ablations — GraphAug implementation choices",
+                     "Encoder parameterization, hop set, self-loops, "
+                     "structure KL (gowalla-sim).");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const SyntheticData& data = bench::GetDataset("gowalla-sim");
+
+  auto run = [&](GraphAugConfig cfg) {
+    GraphAug model(&data.dataset, cfg);
+    return bench::RunRecommender(&model, data.dataset, settings);
+  };
+  auto base = [&] {
+    return bench::MakeGraphAugConfig(settings, 0, "gowalla-sim");
+  };
+
+  Table t({"Variant", "Recall@20", "NDCG@20"});
+  {
+    bench::RunResult r = run(base());
+    t.AddRow("default (vector gate, act, M={0,1,2})",
+             {r.recall20, r.ndcg20});
+  }
+  {
+    GraphAugConfig cfg = base();
+    cfg.mixhop_mode = MixhopMode::kMatrixTransform;
+    bench::RunResult r = run(cfg);
+    t.AddRow("matrix transforms (Eq. 12 literal)", {r.recall20, r.ndcg20});
+  }
+  {
+    GraphAugConfig cfg = base();
+    cfg.mixhop_activation = false;
+    bench::RunResult r = run(cfg);
+    t.AddRow("no per-layer activation", {r.recall20, r.ndcg20});
+  }
+  for (std::vector<int> hops :
+       {std::vector<int>{0, 1}, std::vector<int>{0, 1, 2, 3}}) {
+    GraphAugConfig cfg = base();
+    cfg.hops = hops;
+    bench::RunResult r = run(cfg);
+    std::string label = "hops {";
+    for (size_t i = 0; i < hops.size(); ++i) {
+      label += (i ? "," : "") + std::to_string(hops[i]);
+    }
+    label += "}";
+    t.AddRow(label, {r.recall20, r.ndcg20});
+  }
+  {
+    GraphAugConfig cfg = base();
+    cfg.self_loop_weight = 1.f;
+    bench::RunResult r = run(cfg);
+    t.AddRow("self-loops in adjacency", {r.recall20, r.ndcg20});
+  }
+  {
+    GraphAugConfig cfg = base();
+    cfg.structure_kl_weight = 0.3f;
+    bench::RunResult r = run(cfg);
+    t.AddRow("structure Bernoulli-KL (w=0.3)", {r.recall20, r.ndcg20});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Expected: the default is at or near the top; matrix\n"
+              "transforms underfit at this scale; hop sets beyond {0,1,2}\n"
+              "give diminishing returns.\n");
+  return 0;
+}

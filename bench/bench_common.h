@@ -1,0 +1,67 @@
+#ifndef GRAPHAUG_BENCH_BENCH_COMMON_H_
+#define GRAPHAUG_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/graphaug.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace graphaug::bench {
+
+/// Shared experiment settings. Every table/figure binary reads the same
+/// hyperparameters so results are comparable across experiments, matching
+/// the paper's protocol (d=32, L=2, τ=0.9, ξ=0.2, lr decay 0.96).
+/// Setting the environment variable GRAPHAUG_BENCH_FAST=1 shrinks epochs
+/// for smoke-checking the harness.
+struct BenchSettings {
+  int epochs = 24;
+  int eval_every = 6;
+  ModelConfig model;
+
+  static BenchSettings Default();
+  bool fast = false;
+};
+
+/// The three paper datasets (simulated; see DESIGN.md §4).
+std::vector<std::string> BenchDatasets();
+
+/// Generates (and caches per-process) a preset dataset.
+const SyntheticData& GetDataset(const std::string& name);
+
+/// Result of one train+evaluate run.
+struct RunResult {
+  TrainResult train;
+  double recall20 = 0, recall40 = 0, ndcg20 = 0, ndcg40 = 0;
+};
+
+/// Trains `model_name` on `dataset_name` with the shared settings and
+/// returns best-checkpoint metrics. `seed` overrides the config seed.
+RunResult RunModel(const std::string& model_name,
+                   const std::string& dataset_name,
+                   const BenchSettings& settings, uint64_t seed = 0);
+
+/// Same, but for an already-constructed model (used for GraphAug variants
+/// with custom configs).
+RunResult RunRecommender(Recommender* model, const Dataset& dataset,
+                         const BenchSettings& settings);
+
+/// GraphAug config matching the shared settings, with the per-dataset
+/// tuned hyperparameters used by every experiment binary (the paper also
+/// tunes per dataset): the dense Gowalla stand-in benefits from the
+/// LeakyReLU in the mixhop layers, while the two sparse datasets train
+/// better with linear mixing and a stronger GIB prediction bound.
+GraphAugConfig MakeGraphAugConfig(const BenchSettings& settings,
+                                  uint64_t seed = 0,
+                                  const std::string& dataset_name = "");
+
+/// Prints a standard experiment banner.
+void PrintBanner(const std::string& experiment,
+                 const std::string& description);
+
+}  // namespace graphaug::bench
+
+#endif  // GRAPHAUG_BENCH_BENCH_COMMON_H_

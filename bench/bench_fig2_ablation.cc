@@ -1,0 +1,47 @@
+// Reproduces Figure 2: component-wise ablation of GraphAug — the full
+// model vs "w/o Mixhop" (standard GCN encoder), "w/o GIB" (no information
+// bottleneck regularization), and "w/o CL" (no contrastive term; GIB
+// regularizes BPR directly) across all three datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Figure 2 — Ablation of GraphAug sub-modules",
+                     "Full model vs w/o Mixhop / w/o GIB / w/o CL.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+
+  struct Variant {
+    const char* name;
+    bool mixhop, gib, cl;
+  };
+  const Variant variants[] = {
+      {"GraphAug", true, true, true},
+      {"w/o Mixhop", false, true, true},
+      {"w/o GIB", true, false, true},
+      {"w/o CL", true, true, false},
+  };
+
+  for (const std::string& ds : bench::BenchDatasets()) {
+    const SyntheticData& data = bench::GetDataset(ds);
+    std::printf("--- %s ---\n", ds.c_str());
+    Table t({"Variant", "Recall@20", "NDCG@20"});
+    for (const Variant& v : variants) {
+      GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, ds);
+      cfg.use_mixhop = v.mixhop;
+      cfg.use_gib = v.gib;
+      cfg.use_cl = v.cl;
+      GraphAug model(&data.dataset, cfg);
+      bench::RunResult r =
+          bench::RunRecommender(&model, data.dataset, settings);
+      t.AddRow(v.name, {r.recall20, r.ndcg20});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  std::printf("Paper shape to verify: every ablated variant underperforms\n"
+              "the full GraphAug on every dataset.\n");
+  return 0;
+}

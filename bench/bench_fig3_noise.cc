@@ -1,0 +1,54 @@
+// Reproduces Figure 3: robustness against interaction noise — random
+// fake user-item edges are injected into the training graph at ratios
+// {0.05, 0.10, 0.15, 0.20, 0.25} and the *relative* performance
+// degradation of GraphAug, NCL, and LightGCN is compared.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "graph/corruption.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner(
+      "Figure 3 — Robustness Against Interaction Noise",
+      "Relative Recall@20 / NDCG@20 degradation vs injected-noise ratio.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const SyntheticData& data = bench::GetDataset("gowalla-sim");
+  const std::vector<std::string> models = {"GraphAug", "NCL", "LightGCN"};
+  const std::vector<double> ratios = {0.05, 0.10, 0.15, 0.20, 0.25};
+
+  // Baseline (clean) performance per model.
+  std::map<std::string, bench::RunResult> clean;
+  for (const std::string& m : models) {
+    clean[m] = bench::RunModel(m, "gowalla-sim", settings);
+  }
+
+  Table t({"Model", "Noise", "R@20", "R@20 drop%", "N@20", "N@20 drop%"});
+  for (double ratio : ratios) {
+    // Corrupt the training graph (test set untouched).
+    Rng rng(static_cast<uint64_t>(1000 * ratio) + 7);
+    Dataset noisy = data.dataset;
+    BipartiteGraph g = AddRandomEdges(data.dataset.TrainGraph(), ratio, &rng);
+    noisy.train_edges = g.edges();
+    noisy.noise_flags.clear();
+    for (const std::string& m : models) {
+      ModelConfig cfg = settings.model;
+      auto model = CreateModel(m, &noisy, cfg);
+      bench::RunResult r = bench::RunRecommender(model.get(), noisy, settings);
+      const double rdrop =
+          100.0 * (clean[m].recall20 - r.recall20) / clean[m].recall20;
+      const double ndrop =
+          100.0 * (clean[m].ndcg20 - r.ndcg20) / clean[m].ndcg20;
+      t.AddRow({m, FormatDouble(ratio, 2), FormatDouble(r.recall20),
+                FormatDouble(rdrop, 1), FormatDouble(r.ndcg20),
+                FormatDouble(ndrop, 1)});
+    }
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Paper shape to verify: GraphAug's relative drop is smaller\n"
+              "than NCL's and LightGCN's at every noise ratio.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 4: convergence behaviour on the Gowalla stand-in —
+// per-epoch Recall@20 / NDCG@20 traces for the four contrastive models
+// (DGCL, HCCF, NCL, GraphAug).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Figure 4 — Model Convergence (gowalla-sim)",
+                     "Recall@20 per evaluation epoch for CL-based models.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  settings.eval_every = 2;  // dense traces for the curve
+
+  const std::vector<std::string> models = {"DGCL", "HCCF", "NCL",
+                                           "GraphAug"};
+  std::map<std::string, TrainResult> results;
+  std::vector<int> epochs;
+  for (const std::string& m : models) {
+    bench::RunResult r = bench::RunModel(m, "gowalla-sim", settings);
+    results[m] = r.train;
+    if (epochs.empty()) {
+      for (const EpochRecord& rec : r.train.history) {
+        epochs.push_back(rec.epoch);
+      }
+    }
+  }
+
+  std::vector<std::string> header = {"Epoch"};
+  for (const auto& m : models) header.push_back(m + " R@20");
+  Table t(header);
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(epochs[i])};
+    for (const auto& m : models) {
+      const auto& hist = results[m].history;
+      row.push_back(i < hist.size() ? FormatDouble(hist[i].recall20) : "-");
+    }
+    t.AddRow(std::move(row));
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  for (const auto& m : models) {
+    std::printf("%-9s best R@20 %.4f at epoch %d (%.1fs)\n", m.c_str(),
+                results[m].best_recall20, results[m].best_epoch,
+                results[m].train_seconds);
+  }
+  std::printf("\nPaper shape to verify: GraphAug converges fastest to the\n"
+              "highest recall; DGCL is the slowest to converge.\n");
+  return 0;
+}

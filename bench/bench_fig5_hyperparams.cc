@@ -1,0 +1,61 @@
+// Reproduces Figure 5: hyperparameter sensitivity of GraphAug on the
+// Gowalla stand-in — GIB strength β₁, InfoNCE temperature τ, and
+// embedding dimensionality d.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Figure 5 — Hyperparameter Study (gowalla-sim)",
+                     "Sweeps of beta1 (GIB), tau (InfoNCE), and dim d.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const SyntheticData& data = bench::GetDataset("gowalla-sim");
+
+  auto run = [&](GraphAugConfig cfg) {
+    GraphAug model(&data.dataset, cfg);
+    return bench::RunRecommender(&model, data.dataset, settings);
+  };
+
+  {
+    // The paper sweeps beta1 in [1e-6, 1e-3]; two larger points are added
+    // to expose where the KL compression bound starts to bite (with the
+    // prediction bound carrying label signal at O(1), the compression
+    // term is insensitive in the paper's range — see EXPERIMENTS.md).
+    Table t({"beta1 (GIB)", "Recall@20", "NDCG@20"});
+    for (float b1 : {1e-6f, 1e-5f, 1e-4f, 1e-3f, 1e-1f, 1.f}) {
+      GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, "gowalla-sim");
+      cfg.beta1 = b1;
+      bench::RunResult r = run(cfg);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.0e", b1);
+      t.AddRow(label, {r.recall20, r.ndcg20});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  {
+    Table t({"tau", "Recall@20", "NDCG@20"});
+    for (float tau : {0.1f, 0.3f, 0.5f, 0.7f, 0.9f}) {
+      GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, "gowalla-sim");
+      cfg.temperature = tau;
+      bench::RunResult r = run(cfg);
+      t.AddRow(FormatDouble(tau, 1), {r.recall20, r.ndcg20});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  {
+    Table t({"dim d", "Recall@20", "NDCG@20"});
+    for (int d : {8, 16, 32, 64}) {
+      GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, "gowalla-sim");
+      cfg.dim = d;
+      bench::RunResult r = run(cfg);
+      t.AddRow(std::to_string(d), {r.recall20, r.ndcg20});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  std::printf("Paper shape to verify: β₁ best around 1e-5; performance\n"
+              "grows with d and saturates by d=64.\n");
+  return 0;
+}

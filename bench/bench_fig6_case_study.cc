@@ -1,0 +1,146 @@
+// Reproduces Figure 6 (case study): (i) does GraphAug learn implicit item
+// dependencies? — measured as within-community vs cross-community item
+// embedding similarity against the generator's hidden categories; and
+// (ii) does it identify noisy interactions? — measured by the learned
+// user-item similarity scores (the quantity the paper's figure annotates
+// on each edge) of generator-injected noise interactions vs
+// preference-aligned ones, plus per-user example panels. The augmentor's
+// raw retention probabilities are reported as a secondary statistic.
+//
+// The case-study dataset is the Amazon stand-in with an elevated noise
+// rate (25%) so that ground-truth noise is plentiful enough to measure.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "tensor/ops.h"
+
+namespace {
+
+double PairCos(const graphaug::Matrix& a, int64_t i, const graphaug::Matrix& b,
+               int64_t j) {
+  const float* x = a.row(i);
+  const float* y = b.row(j);
+  double dot = 0, nx = 0, ny = 0;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    dot += static_cast<double>(x[c]) * y[c];
+    nx += static_cast<double>(x[c]) * x[c];
+    ny += static_cast<double>(y[c]) * y[c];
+  }
+  return dot / (std::sqrt(nx * ny) + 1e-12);
+}
+
+}  // namespace
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner(
+      "Figure 6 — Case Study: implicit item dependency & denoising",
+      "Uses the synthetic generator's hidden categories / noise flags as "
+      "ground truth (amazon-sim at 25% noise).");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  SyntheticConfig scfg = PresetConfig("amazon-sim");
+  scfg.noise_fraction = 0.25;
+  scfg.name = "amazon-sim-noisy";
+  SyntheticData data = GenerateSynthetic(scfg);
+
+  GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, "amazon-sim");
+  GraphAug model(&data.dataset, cfg);
+  bench::RunResult rr = bench::RunRecommender(&model, data.dataset, settings);
+  model.Finalize();
+  std::printf("trained GraphAug: Recall@20 = %.4f\n\n", rr.recall20);
+
+  // (i) Implicit item dependencies: cosine similarity of item embedding
+  // pairs within the same hidden community vs across communities.
+  const Matrix& items = model.item_embeddings();
+  Rng rng(11);
+  double within = 0, across = 0;
+  int64_t nw = 0, na = 0;
+  for (int trial = 0; trial < 40000; ++trial) {
+    const int64_t a = static_cast<int64_t>(rng.UniformInt(items.rows()));
+    const int64_t b = static_cast<int64_t>(rng.UniformInt(items.rows()));
+    if (a == b) continue;
+    const double cos = PairCos(items, a, items, b);
+    if (data.item_community[a] == data.item_community[b]) {
+      within += cos;
+      ++nw;
+    } else {
+      across += cos;
+      ++na;
+    }
+  }
+  within /= std::max<int64_t>(1, nw);
+  across /= std::max<int64_t>(1, na);
+  std::printf("Implicit item dependency (hidden categories never shown to "
+              "the model):\n");
+  std::printf("  mean cos(item_i, item_j) same category     : %.4f\n",
+              within);
+  std::printf("  mean cos(item_i, item_j) different category: %.4f\n\n",
+              across);
+
+  // (ii) Denoising: the learned user-item similarity scores by
+  // ground-truth flag — the paper's per-edge annotation.
+  const Matrix& users = model.user_embeddings();
+  BipartiteGraph g = data.dataset.TrainGraph();
+  const auto& edges = g.edges();
+  const auto& flags = data.dataset.noise_flags;
+  std::vector<float> probs = model.EdgeProbabilities();
+  double cos_clean = 0, cos_noise = 0, p_clean = 0, p_noise = 0;
+  int64_t nc = 0, nn = 0;
+  std::vector<double> edge_cos(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    edge_cos[i] = PairCos(users, edges[i].user, items, edges[i].item);
+    if (flags[i]) {
+      cos_noise += edge_cos[i];
+      p_noise += probs[i];
+      ++nn;
+    } else {
+      cos_clean += edge_cos[i];
+      p_clean += probs[i];
+      ++nc;
+    }
+  }
+  std::printf("Denoising user-item interaction bias (n_clean=%lld, "
+              "n_noise=%lld):\n",
+              static_cast<long long>(nc), static_cast<long long>(nn));
+  std::printf("  mean learned similarity, clean edges: %.4f\n",
+              cos_clean / nc);
+  std::printf("  mean learned similarity, noise edges: %.4f\n",
+              cos_noise / nn);
+  std::printf("  (secondary) mean retention p, clean : %.4f\n",
+              p_clean / nc);
+  std::printf("  (secondary) mean retention p, noise : %.4f\n\n",
+              p_noise / nn);
+
+  // Per-user panels: three users with both edge kinds, annotated with the
+  // learned similarity scores (as the paper's figure does).
+  Table t({"User", "Item", "GroundTruth", "Similarity", "Retention p"});
+  int shown_users = 0;
+  for (size_t i = 0; i < edges.size() && shown_users < 3;) {
+    const int32_t u = edges[i].user;
+    size_t j = i;
+    bool has_noise = false, has_clean = false;
+    while (j < edges.size() && edges[j].user == u) {
+      (flags[j] ? has_noise : has_clean) = true;
+      ++j;
+    }
+    if (has_noise && has_clean && (j - i) <= 10) {
+      ++shown_users;
+      for (size_t k = i; k < j; ++k) {
+        t.AddRow({std::to_string(u), std::to_string(edges[k].item),
+                  flags[k] ? "noise" : "clean", FormatDouble(edge_cos[k]),
+                  FormatDouble(probs[k])});
+      }
+    }
+    i = j;
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Paper shape to verify: same-category items cluster in embedding\n"
+      "space; noise edges carry lower learned similarity than clean ones\n"
+      "for the same user.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figure 7 (+ Table VII context): embedding-distribution
+// comparison of LightGCN, NCL, and GraphAug — uniformity (Wang & Isola)
+// and MAD statistics plus a 2-D PCA projection exported as CSV (the UMAP
+// substitute; see DESIGN.md §4).
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "eval/embedding_stats.h"
+#include "models/registry.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner(
+      "Figure 7 — Embedding Distribution Visualization",
+      "Uniformity / MAD stats + 2-D PCA projections (CSV export).");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const SyntheticData& data = bench::GetDataset("gowalla-sim");
+
+  Table t({"Model", "Uniformity (lower=more uniform)", "MAD", "Recall@20"});
+  for (const std::string& name :
+       {std::string("LightGCN"), std::string("NCL"),
+        std::string("GraphAug")}) {
+    auto model = CreateModel(name, &data.dataset, settings.model);
+    bench::RunResult r =
+        bench::RunRecommender(model.get(), data.dataset, settings);
+    model->Finalize();
+    Rng rng(5);
+    const Matrix& users = model->user_embeddings();
+    const double uniformity = ComputeUniformity(users, 20000, &rng);
+    const double mad = ComputeMad(users, 20000, &rng);
+    t.AddRow(name, {uniformity, mad, r.recall20});
+
+    // Export the 2-D projection for plotting.
+    Matrix proj = PcaProject2d(users, &rng);
+    const std::string path = "/tmp/graphaug_fig7_" + name + ".csv";
+    std::ofstream out(path);
+    out << "x,y\n";
+    for (int64_t i = 0; i < proj.rows(); ++i) {
+      out << proj.at(i, 0) << "," << proj.at(i, 1) << "\n";
+    }
+    std::printf("wrote %s (%lld points)\n", path.c_str(),
+                static_cast<long long>(proj.rows()));
+  }
+  std::printf("\n%s\n", t.ToString().c_str());
+  std::printf("Paper shape to verify: GraphAug's user embeddings are the\n"
+              "most uniform (lowest uniformity value, highest MAD);\n"
+              "LightGCN's are the most clustered (over-smoothed).\n");
+  return 0;
+}

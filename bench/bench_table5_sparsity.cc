@@ -1,0 +1,91 @@
+// Reproduces Table V: performance against skewed (sparse) data
+// distributions — users bucketed by training-interaction count, with
+// Recall@40 / NDCG@40 per group for LightGCN, DGCL, NCL, and GraphAug on
+// two datasets.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "data/stats.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner(
+      "Table V — Performance Against Skewed Data Distribution",
+      "Degree-group evaluation (users bucketed by #train interactions).");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const std::vector<int> bounds = {0, 10, 20, 30, 40, 1 << 30};
+  const std::vector<std::string> labels = {"0-10", "10-20", "20-30", "30-40",
+                                           "40+"};
+  const std::vector<std::string> models = {"LightGCN", "DGCL", "NCL",
+                                           "GraphAug"};
+
+  for (const std::string& ds : {std::string("retailrocket-sim"),
+                                std::string("gowalla-sim")}) {
+    const SyntheticData& data = bench::GetDataset(ds);
+    auto user_groups = GroupUsersByDegree(data.dataset, bounds);
+    auto item_groups = GroupItemsByDegree(data.dataset, bounds);
+    Evaluator evaluator(&data.dataset, {20, 40});
+    std::printf("--- %s ---\n", ds.c_str());
+    auto make_header = [&] {
+      std::vector<std::string> h = {"Method", "Metric"};
+      for (const auto& l : labels) h.push_back(l);
+      return h;
+    };
+    Table user_table(make_header());
+    Table item_table(make_header());
+
+    for (const std::string& model_name : models) {
+      std::unique_ptr<Recommender> model;
+      if (model_name == "GraphAug") {
+        model = std::make_unique<GraphAug>(
+            &data.dataset, bench::MakeGraphAugConfig(settings, 0, ds));
+      } else {
+        model = CreateModel(model_name, &data.dataset, settings.model);
+      }
+      TrainOptions opts;
+      opts.epochs = settings.epochs;
+      opts.eval_every = settings.eval_every;
+      TrainAndEvaluate(model.get(), evaluator, opts);
+      model->Finalize();
+      auto scorer = [&](const std::vector<int32_t>& users) {
+        return model->ScoreUsers(users);
+      };
+      // User-side groups.
+      std::vector<std::string> recall_row = {model_name, "Recall@40"};
+      std::vector<std::string> ndcg_row = {model_name, "NDCG@40"};
+      for (const auto& group : user_groups) {
+        TopKMetrics m = evaluator.EvaluateUsers(scorer, group);
+        const bool ok = !group.empty() && m.num_users > 0;
+        recall_row.push_back(ok ? FormatDouble(m.RecallAt(40)) : "-");
+        ndcg_row.push_back(ok ? FormatDouble(m.NdcgAt(40)) : "-");
+      }
+      user_table.AddRow(std::move(recall_row));
+      user_table.AddRow(std::move(ndcg_row));
+      // Item-side groups (relevance restricted to the popularity bucket).
+      std::vector<std::string> irecall_row = {model_name, "Recall@40"};
+      std::vector<std::string> indcg_row = {model_name, "NDCG@40"};
+      for (const auto& group : item_groups) {
+        if (group.empty()) {
+          irecall_row.push_back("-");
+          indcg_row.push_back("-");
+          continue;
+        }
+        TopKMetrics m = evaluator.EvaluateItemGroup(scorer, group);
+        const bool ok = m.num_users > 0;
+        irecall_row.push_back(ok ? FormatDouble(m.RecallAt(40)) : "-");
+        indcg_row.push_back(ok ? FormatDouble(m.NdcgAt(40)) : "-");
+      }
+      item_table.AddRow(std::move(irecall_row));
+      item_table.AddRow(std::move(indcg_row));
+    }
+    std::printf("User-side degree groups:\n%s\n",
+                user_table.ToString().c_str());
+    std::printf("Item-side popularity groups:\n%s\n",
+                item_table.ToString().c_str());
+  }
+  std::printf("Paper shape to verify: GraphAug wins in every group, with\n"
+              "the largest margins for low-degree (sparse) users.\n");
+  return 0;
+}

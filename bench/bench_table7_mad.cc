@@ -1,0 +1,35 @@
+// Reproduces Table VII: MAD values (over-smoothing diagnostic) of
+// GraphAug, NCL, and LightGCN alongside their accuracy on the Gowalla
+// stand-in.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "eval/embedding_stats.h"
+#include "models/registry.h"
+
+int main() {
+  using namespace graphaug;
+  bench::PrintBanner("Table VII — MAD Comparison",
+                     "Embedding-pair mean average distance per model.");
+  bench::BenchSettings settings = bench::BenchSettings::Default();
+  const SyntheticData& data = bench::GetDataset("gowalla-sim");
+
+  Table t({"Method", "MAD", "Recall@20", "NDCG@20"});
+  for (const std::string& name :
+       {std::string("GraphAug"), std::string("NCL"),
+        std::string("LightGCN")}) {
+    auto model = CreateModel(name, &data.dataset, settings.model);
+    bench::RunResult r =
+        bench::RunRecommender(model.get(), data.dataset, settings);
+    model->Finalize();
+    Rng rng(7);
+    const double mad = ComputeMad(model->AllEmbeddings(), 20000, &rng);
+    t.AddRow(name, {mad, r.recall20, r.ndcg20});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Paper shape to verify: MAD(GraphAug) > MAD(NCL) >\n"
+              "MAD(LightGCN), matching the accuracy ordering.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Scenario: bringing your own interaction log. This example shows the
+// full custom-data path of the library:
+//
+//   1. interactions arrive as raw (user, item) pairs (here: written to a
+//      TSV first, the interchange format of data/io.h);
+//   2. the file is loaded, split, and summarized;
+//   3. GraphAug is trained and per-user recommendations plus the learned
+//      item embeddings are exported for downstream use.
+//
+// Usage: ./build/examples/custom_dataset [path/to/interactions.tsv]
+// Without an argument it writes and consumes a demo TSV in /tmp.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/graphaug.h"
+#include "data/io.h"
+#include "data/stats.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/trainer.h"
+
+namespace {
+
+/// Produces a demo TSV the way an ETL job would: raw interactions split
+/// into train/test rows.
+std::string WriteDemoTsv() {
+  using namespace graphaug;
+  SyntheticConfig cfg;
+  cfg.name = "custom-demo";
+  cfg.num_users = 300;
+  cfg.num_items = 200;
+  cfg.mean_user_degree = 10;
+  cfg.seed = 99;
+  SyntheticData data = GenerateSynthetic(cfg);
+  const std::string path = "/tmp/graphaug_custom_demo.tsv";
+  GA_CHECK(SaveDatasetTsv(data.dataset, path));
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace graphaug;
+  const std::string path = argc > 1 ? argv[1] : WriteDemoTsv();
+
+  // 2. Load + summarize.
+  Dataset dataset;
+  if (!LoadDatasetTsv(path, &dataset)) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  DatasetStats stats = ComputeStats(dataset);
+  std::printf("loaded %s: %d users, %d items, %lld train / %lld test\n",
+              path.c_str(), stats.num_users, stats.num_items,
+              static_cast<long long>(stats.num_train),
+              static_cast<long long>(stats.num_test));
+
+  // 3. Train.
+  GraphAugConfig config;
+  config.dim = 32;
+  config.batches_per_epoch = 6;
+  GraphAug model(&dataset, config);
+  Evaluator evaluator(&dataset, {20, 40});
+  TrainOptions options;
+  options.epochs = 16;
+  options.eval_every = 4;
+  TrainResult result = TrainAndEvaluate(&model, evaluator, options);
+  std::printf("Recall@20 = %.4f, NDCG@20 = %.4f\n", result.best_recall20,
+              result.final_metrics.NdcgAt(20));
+
+  // 4. Export artifacts: top-10 recommendations for the first 20 users
+  // and the item embedding table.
+  model.Finalize();
+  {
+    std::ofstream recs("/tmp/graphaug_recommendations.tsv");
+    recs << "user\trank\titem\tscore\n";
+    for (int32_t u = 0; u < std::min(20, dataset.num_users); ++u) {
+      Matrix scores = model.ScoreUsers({u});
+      for (int rank = 0; rank < 10; ++rank) {
+        int best = 0;
+        for (int v = 1; v < dataset.num_items; ++v) {
+          if (scores[v] > scores[best]) best = v;
+        }
+        recs << u << "\t" << rank + 1 << "\t" << best << "\t" << scores[best]
+             << "\n";
+        scores[best] = -1e30f;
+      }
+    }
+  }
+  {
+    std::ofstream emb("/tmp/graphaug_item_embeddings.tsv");
+    const Matrix& items = model.item_embeddings();
+    for (int64_t v = 0; v < items.rows(); ++v) {
+      emb << v;
+      for (int64_t c = 0; c < items.cols(); ++c) {
+        emb << "\t" << items.at(v, c);
+      }
+      emb << "\n";
+    }
+  }
+  std::printf("wrote /tmp/graphaug_recommendations.tsv and "
+              "/tmp/graphaug_item_embeddings.tsv\n");
+  return 0;
+}

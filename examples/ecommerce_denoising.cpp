@@ -1,0 +1,90 @@
+// Scenario: an e-commerce platform whose click logs are polluted by
+// misclicks and bot traffic (the noisy-interaction setting motivating the
+// paper). This example shows GraphAug acting as a *data denoiser*:
+//
+//   - a synthetic store with heavy interaction noise is generated;
+//   - GraphAug is trained and its learned edge-retention probabilities
+//     are compared against the generator's ground-truth noise labels;
+//   - the probabilities are used to flag suspicious interactions, and the
+//     flagging quality is reported as precision/recall of noise
+//     detection.
+//
+// Build & run:  ./build/examples/ecommerce_denoising
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/graphaug.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/trainer.h"
+
+int main() {
+  using namespace graphaug;
+
+  // A store with 25% preference-inconsistent interactions.
+  SyntheticConfig scfg;
+  scfg.name = "noisy-store";
+  scfg.num_users = 600;
+  scfg.num_items = 400;
+  scfg.mean_user_degree = 14;
+  scfg.noise_fraction = 0.25;
+  scfg.seed = 2024;
+  SyntheticData data = GenerateSynthetic(scfg);
+  int64_t noisy = std::count(data.dataset.noise_flags.begin(),
+                             data.dataset.noise_flags.end(), true);
+  std::printf("noisy-store: %zu train interactions, %lld (%.0f%%) are "
+              "ground-truth noise\n",
+              data.dataset.train_edges.size(),
+              static_cast<long long>(noisy),
+              100.0 * noisy / data.dataset.train_edges.size());
+
+  GraphAugConfig config;
+  config.dim = 32;
+  config.batches_per_epoch = 6;
+  config.seed = 7;
+  GraphAug model(&data.dataset, config);
+  Evaluator evaluator(&data.dataset, {20, 40});
+  TrainOptions options;
+  options.epochs = 24;
+  options.eval_every = 6;
+  TrainResult result = TrainAndEvaluate(&model, evaluator, options);
+  std::printf("trained: Recall@20 = %.4f\n\n", result.best_recall20);
+
+  // Learned retention probability per interaction.
+  std::vector<float> probs = model.EdgeProbabilities();
+  const auto& flags = data.dataset.noise_flags;
+
+  double clean_mean = 0, noise_mean = 0;
+  int64_t nc = 0, nn = 0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    (flags[i] ? noise_mean : clean_mean) += probs[i];
+    (flags[i] ? nn : nc)++;
+  }
+  clean_mean /= nc;
+  noise_mean /= nn;
+  std::printf("mean retention p: clean=%.4f  noise=%.4f\n", clean_mean,
+              noise_mean);
+
+  // Flag the lowest-probability interactions as suspicious and measure
+  // detection quality at several flagging budgets.
+  std::vector<size_t> order(probs.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return probs[a] < probs[b]; });
+  std::printf("\nflagging the lowest-p interactions as noise:\n");
+  std::printf("%-10s %-10s %-10s\n", "budget", "precision", "recall");
+  for (double budget : {0.05, 0.10, 0.20, 0.30}) {
+    const size_t k = static_cast<size_t>(budget * probs.size());
+    int64_t hit = 0;
+    for (size_t i = 0; i < k; ++i) hit += flags[order[i]];
+    std::printf("%-10.0f%% %-10.3f %-10.3f\n", 100 * budget,
+                static_cast<double>(hit) / k,
+                static_cast<double>(hit) / nn);
+  }
+  std::printf("\n(random flagging would have precision ~%.3f at every "
+              "budget)\n",
+              static_cast<double>(nn) / probs.size());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scenario: auditing a recommender before deployment. Production
+// interaction logs degrade over time (bots, scraping artifacts,
+// campaign-driven click bursts), so the team wants to know how gracefully
+// each candidate model's quality decays as the training graph picks up
+// fake interactions — the experiment behind the paper's Fig. 3, driven
+// here entirely through the public API.
+//
+// Usage: ./build/examples/robustness_study [preset] [epochs]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "graph/corruption.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace graphaug;
+  const std::string preset = argc > 1 ? argv[1] : "retailrocket-sim";
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::vector<std::string> candidates = {"LightGCN", "SGL",
+                                               "GraphAug"};
+  const std::vector<double> corruption = {0.0, 0.1, 0.2};
+
+  SyntheticData data = GeneratePreset(preset);
+  Evaluator evaluator(&data.dataset, {20, 40});
+  ModelConfig config;
+  config.dim = 32;
+  config.batches_per_epoch = 6;
+  TrainOptions options;
+  options.epochs = epochs;
+  options.eval_every = std::max(1, epochs / 4);
+
+  std::printf("robustness audit on %s (%d epochs per run)\n\n",
+              preset.c_str(), epochs);
+  Table report({"Model", "Noise", "Recall@20", "Kept vs clean"});
+  for (const std::string& name : candidates) {
+    double clean_recall = 0;
+    for (double ratio : corruption) {
+      // Corrupt only the training graph; the held-out test set stays
+      // clean so the metric measures true preference recovery.
+      Dataset corrupted = data.dataset;
+      if (ratio > 0) {
+        Rng rng(static_cast<uint64_t>(1000 * ratio) + 11);
+        corrupted.train_edges =
+            AddRandomEdges(data.dataset.TrainGraph(), ratio, &rng).edges();
+        corrupted.noise_flags.clear();
+      }
+      auto model = CreateModel(name, &corrupted, config);
+      TrainResult r = TrainAndEvaluate(model.get(), evaluator, options);
+      const double recall = r.final_metrics.RecallAt(20);
+      if (ratio == 0) clean_recall = recall;
+      report.AddRow({name, FormatDouble(ratio, 1), FormatDouble(recall),
+                     clean_recall > 0
+                         ? FormatDouble(100 * recall / clean_recall, 1) + "%"
+                         : "-"});
+      std::printf("finished %s @ noise %.1f\n", name.c_str(), ratio);
+    }
+  }
+  std::printf("\n%s\n", report.ToString().c_str());
+  std::printf("Reading: a robust model keeps 'Kept vs clean' close to "
+              "100%% as noise grows.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "autograd/grad_check.h"
+
+#include <cmath>
+
+namespace graphaug {
+
+GradCheckResult CheckGradient(Parameter* param,
+                              const std::function<Var(Tape*)>& loss_fn,
+                              float fd_eps, float tol) {
+  // Analytic gradient.
+  param->ZeroGrad();
+  {
+    Tape tape;
+    Var loss = loss_fn(&tape);
+    tape.Backward(loss);
+  }
+  Matrix analytic = param->grad;
+
+  GradCheckResult res;
+  res.ok = true;
+  for (int64_t i = 0; i < param->value.size(); ++i) {
+    const float orig = param->value[i];
+    param->value[i] = orig + fd_eps;
+    double lp, lm;
+    {
+      Tape tape;
+      lp = loss_fn(&tape).value().scalar();
+    }
+    param->value[i] = orig - fd_eps;
+    {
+      Tape tape;
+      lm = loss_fn(&tape).value().scalar();
+    }
+    param->value[i] = orig;
+    const float numeric = static_cast<float>((lp - lm) / (2.0 * fd_eps));
+    const float abs_err = std::fabs(numeric - analytic[i]);
+    const float rel_err =
+        abs_err / std::max(1e-4f, std::fabs(numeric) + std::fabs(analytic[i]));
+    res.max_abs_error = std::max(res.max_abs_error, abs_err);
+    res.max_rel_error = std::max(res.max_rel_error, rel_err);
+    if (abs_err > tol && rel_err > tol) res.ok = false;
+  }
+  param->ZeroGrad();
+  return res;
+}
+
+}  // namespace graphaug

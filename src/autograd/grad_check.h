@@ -1,0 +1,28 @@
+#ifndef GRAPHAUG_AUTOGRAD_GRAD_CHECK_H_
+#define GRAPHAUG_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "autograd/param.h"
+#include "autograd/tape.h"
+
+namespace graphaug {
+
+/// Result of a finite-difference gradient verification.
+struct GradCheckResult {
+  bool ok = false;
+  float max_abs_error = 0.f;
+  float max_rel_error = 0.f;
+};
+
+/// Verifies the analytic gradient of `loss_fn` with respect to `param` by
+/// central finite differences. `loss_fn` must build a fresh scalar loss on
+/// the supplied tape each call (reading param->value). Used by the autograd
+/// unit tests to validate every op.
+GradCheckResult CheckGradient(
+    Parameter* param, const std::function<Var(Tape*)>& loss_fn,
+    float fd_eps = 1e-3f, float tol = 5e-2f);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUTOGRAD_GRAD_CHECK_H_

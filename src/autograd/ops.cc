@@ -1,0 +1,576 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "tensor/ops.h"
+
+namespace graphaug::ag {
+namespace {
+
+/// Emits a unary elementwise op with derivative expressed in terms of the
+/// *input* value x and the *output* value y.
+Var UnaryOp(Var a, const std::function<float(float)>& fwd,
+            const std::function<float(float, float)>& dydx) {
+  Tape* t = a.tape();
+  Matrix y = Map(a.value(), fwd);
+  const int aid = a.id();
+  const bool ng = t->NeedsGrad(aid);
+  return t->Emit(std::move(y), ng, [aid, dydx](Tape* t, const Matrix& up) {
+    const Matrix& x = t->ValueOf(aid);
+    // Note: we recompute y only when the derivative needs it; callers that
+    // need y capture it below instead. Here we pass (x, 0) -> dydx uses x.
+    Matrix g(up.rows(), up.cols());
+    for (int64_t i = 0; i < up.size(); ++i) g[i] = up[i] * dydx(x[i], 0.f);
+    t->AccumulateGrad(aid, g);
+  });
+}
+
+}  // namespace
+
+Var Leaf(Tape* tape, Parameter* param) { return tape->Leaf(param); }
+
+Var Constant(Tape* tape, Matrix value) {
+  return tape->Constant(std::move(value));
+}
+
+Var Add(Var a, Var b) {
+  Tape* t = a.tape();
+  const int aid = a.id(), bid = b.id();
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
+  return t->Emit(graphaug::Add(a.value(), b.value()), ng,
+                 [aid, bid](Tape* t, const Matrix& up) {
+                   t->AccumulateGrad(aid, up);
+                   t->AccumulateGrad(bid, up);
+                 });
+}
+
+Var Sub(Var a, Var b) {
+  Tape* t = a.tape();
+  const int aid = a.id(), bid = b.id();
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
+  return t->Emit(graphaug::Sub(a.value(), b.value()), ng,
+                 [aid, bid](Tape* t, const Matrix& up) {
+                   t->AccumulateGrad(aid, up);
+                   t->AccumulateGrad(bid, graphaug::Scale(up, -1.f));
+                 });
+}
+
+Var Mul(Var a, Var b) {
+  Tape* t = a.tape();
+  const int aid = a.id(), bid = b.id();
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
+  return t->Emit(graphaug::Mul(a.value(), b.value()), ng,
+                 [aid, bid](Tape* t, const Matrix& up) {
+                   t->AccumulateGrad(aid, graphaug::Mul(up, t->ValueOf(bid)));
+                   t->AccumulateGrad(bid, graphaug::Mul(up, t->ValueOf(aid)));
+                 });
+}
+
+Var Neg(Var a) { return Scale(a, -1.f); }
+
+Var Scale(Var a, float s) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  return t->Emit(graphaug::Scale(a.value(), s), t->NeedsGrad(aid),
+                 [aid, s](Tape* t, const Matrix& up) {
+                   t->AccumulateGrad(aid, graphaug::Scale(up, s));
+                 });
+}
+
+Var AddScalar(Var a, float s) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  return t->Emit(Map(a.value(), [s](float x) { return x + s; }),
+                 t->NeedsGrad(aid), [aid](Tape* t, const Matrix& up) {
+                   t->AccumulateGrad(aid, up);
+                 });
+}
+
+Var Sigmoid(Var a) {
+  auto stable_sigmoid = [](float x) {
+    return x >= 0 ? 1.f / (1.f + std::exp(-x))
+                  : std::exp(x) / (1.f + std::exp(x));
+  };
+  return UnaryOp(a, stable_sigmoid, [stable_sigmoid](float x, float) {
+    const float s = stable_sigmoid(x);
+    return s * (1.f - s);
+  });
+}
+
+Var Tanh(Var a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); },
+                 [](float x, float) {
+                   const float th = std::tanh(x);
+                   return 1.f - th * th;
+                 });
+}
+
+Var Relu(Var a) {
+  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.f; },
+                 [](float x, float) { return x > 0 ? 1.f : 0.f; });
+}
+
+Var LeakyRelu(Var a, float slope) {
+  return UnaryOp(a, [slope](float x) { return x > 0 ? x : slope * x; },
+                 [slope](float x, float) { return x > 0 ? 1.f : slope; });
+}
+
+Var Exp(Var a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); },
+                 [](float x, float) { return std::exp(x); });
+}
+
+Var Log(Var a, float eps) {
+  return UnaryOp(a, [eps](float x) { return std::log(x + eps); },
+                 [eps](float x, float) { return 1.f / (x + eps); });
+}
+
+Var Softplus(Var a) {
+  return UnaryOp(a,
+                 [](float x) {
+                   // Stable: softplus(x) = max(x,0) + log1p(exp(-|x|)).
+                   return std::max(x, 0.f) + std::log1p(std::exp(-std::fabs(x)));
+                 },
+                 [](float x, float) {
+                   return x >= 0 ? 1.f / (1.f + std::exp(-x))
+                                 : std::exp(x) / (1.f + std::exp(x));
+                 });
+}
+
+Var Square(Var a) {
+  return UnaryOp(a, [](float x) { return x * x; },
+                 [](float x, float) { return 2.f * x; });
+}
+
+Var Dropout(Var a, float p, Rng* rng) {
+  if (p <= 0.f) return a;
+  GA_CHECK_LT(p, 1.f);
+  Tape* t = a.tape();
+  const int aid = a.id();
+  const float scale = 1.f / (1.f - p);
+  auto mask = std::make_shared<std::vector<float>>(a.value().size());
+  Matrix y(a.rows(), a.cols());
+  for (int64_t i = 0; i < y.size(); ++i) {
+    const float m = rng->Bernoulli(p) ? 0.f : scale;
+    (*mask)[static_cast<size_t>(i)] = m;
+    y[i] = a.value()[i] * m;
+  }
+  return t->Emit(std::move(y), t->NeedsGrad(aid),
+                 [aid, mask](Tape* t, const Matrix& up) {
+                   Matrix g(up.rows(), up.cols());
+                   for (int64_t i = 0; i < up.size(); ++i) {
+                     g[i] = up[i] * (*mask)[static_cast<size_t>(i)];
+                   }
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var MatMul(Var a, Var b, bool trans_a, bool trans_b) {
+  Tape* t = a.tape();
+  const int aid = a.id(), bid = b.id();
+  Matrix y;
+  Gemm(a.value(), trans_a, b.value(), trans_b, 1.f, 0.f, &y);
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
+  return t->Emit(
+      std::move(y), ng, [aid, bid, trans_a, trans_b](Tape* t, const Matrix& up) {
+        const Matrix& av = t->ValueOf(aid);
+        const Matrix& bv = t->ValueOf(bid);
+        if (t->NeedsGrad(aid)) {
+          Matrix ga;
+          if (!trans_a) {
+            // dA = dY * op(B)^T
+            Gemm(up, false, bv, !trans_b, 1.f, 0.f, &ga);
+          } else {
+            // A appears transposed: dA = op(B) * dY^T
+            Gemm(bv, trans_b, up, true, 1.f, 0.f, &ga);
+          }
+          t->AccumulateGrad(aid, ga);
+        }
+        if (t->NeedsGrad(bid)) {
+          Matrix gb;
+          if (!trans_b) {
+            // dB = op(A)^T * dY
+            Gemm(av, !trans_a, up, false, 1.f, 0.f, &gb);
+          } else {
+            // B appears transposed: dB = dY^T * op(A)
+            Gemm(up, true, av, trans_a, 1.f, 0.f, &gb);
+          }
+          t->AccumulateGrad(bid, gb);
+        }
+      });
+}
+
+Var Spmm(const CsrMatrix* csr, Var dense) {
+  Tape* t = dense.tape();
+  const int did = dense.id();
+  Matrix y;
+  csr->Spmm(dense.value(), &y);
+  return t->Emit(std::move(y), t->NeedsGrad(did),
+                 [csr, did](Tape* t, const Matrix& up) {
+                   Matrix g;
+                   csr->SpmmT(up, &g);
+                   t->AccumulateGrad(did, g);
+                 });
+}
+
+Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
+  Tape* t = dense.tape();
+  const int wid = edge_w.id(), did = dense.id();
+  const CsrMatrix& m = adj->matrix;
+  GA_CHECK_EQ(edge_w.cols(), 1);
+  const Matrix& w = edge_w.value();
+  const Matrix& h = dense.value();
+  GA_CHECK_EQ(h.rows(), m.cols());
+
+  // Forward: out[r] += base[k] * w[edge(k)] * h[col(k)].
+  auto values = std::make_shared<std::vector<float>>(
+      adj->WeightedValues(std::vector<float>(w.data(), w.data() + w.size())));
+  Matrix y(m.rows(), h.cols());
+  const int64_t d = h.cols();
+  const auto& row_ptr = m.row_ptr();
+  const auto& col_idx = m.col_idx();
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    float* orow = y.row(r);
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const float v = (*values)[static_cast<size_t>(k)];
+      const float* hrow = h.row(col_idx[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * hrow[c];
+    }
+  }
+
+  const bool ng = t->NeedsGrad(wid) || t->NeedsGrad(did);
+  return t->Emit(std::move(y), ng, [adj, wid, did, values](Tape* t,
+                                                           const Matrix& up) {
+    const CsrMatrix& m = adj->matrix;
+    const auto& row_ptr = m.row_ptr();
+    const auto& col_idx = m.col_idx();
+    const Matrix& h = t->ValueOf(did);
+    const int64_t d = h.cols();
+    if (t->NeedsGrad(did)) {
+      // dH[col(k)] += value[k] * up[row(k)].
+      Matrix gh(h.rows(), d);
+      for (int64_t r = 0; r < m.rows(); ++r) {
+        const float* urow = up.row(r);
+        for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+          const float v = (*values)[static_cast<size_t>(k)];
+          float* grow = gh.row(col_idx[k]);
+          for (int64_t c = 0; c < d; ++c) grow[c] += v * urow[c];
+        }
+      }
+      t->AccumulateGrad(did, gh);
+    }
+    if (t->NeedsGrad(wid)) {
+      // dw[edge(k)] += base[k] * <up[row(k)], h[col(k)]>.
+      Matrix gw(t->ValueOf(wid).rows(), 1);
+      for (int64_t r = 0; r < m.rows(); ++r) {
+        const float* urow = up.row(r);
+        for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+          const int64_t e = adj->nnz_to_edge[static_cast<size_t>(k)];
+          if (e < 0) continue;
+          const float* hrow = h.row(col_idx[k]);
+          double dot = 0;
+          for (int64_t c = 0; c < d; ++c) dot += static_cast<double>(urow[c]) * hrow[c];
+          gw[e] += adj->base_values[static_cast<size_t>(k)] *
+                   static_cast<float>(dot);
+        }
+      }
+      t->AccumulateGrad(wid, gw);
+    }
+  });
+}
+
+Var GatherRows(Var a, std::vector<int32_t> idx) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  Matrix y = graphaug::GatherRows(a.value(), idx);
+  auto idx_ptr = std::make_shared<std::vector<int32_t>>(std::move(idx));
+  return t->Emit(std::move(y), t->NeedsGrad(aid),
+                 [aid, idx_ptr](Tape* t, const Matrix& up) {
+                   const Matrix& av = t->ValueOf(aid);
+                   Matrix g(av.rows(), av.cols());
+                   ScatterAddRows(up, *idx_ptr, &g);
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var ConcatCols(Var a, Var b) {
+  Tape* t = a.tape();
+  const int aid = a.id(), bid = b.id();
+  const int64_t ac = a.cols();
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
+  return t->Emit(graphaug::ConcatCols(a.value(), b.value()), ng,
+                 [aid, bid, ac](Tape* t, const Matrix& up) {
+                   t->AccumulateGrad(aid, graphaug::SliceCols(up, 0, ac));
+                   t->AccumulateGrad(
+                       bid, graphaug::SliceCols(up, ac, up.cols() - ac));
+                 });
+}
+
+Var SliceCols(Var a, int64_t start, int64_t len) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  return t->Emit(graphaug::SliceCols(a.value(), start, len),
+                 t->NeedsGrad(aid),
+                 [aid, start, len](Tape* t, const Matrix& up) {
+                   const Matrix& av = t->ValueOf(aid);
+                   Matrix g(av.rows(), av.cols());
+                   for (int64_t r = 0; r < up.rows(); ++r) {
+                     std::copy(up.row(r), up.row(r) + len, g.row(r) + start);
+                   }
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var AddRowBroadcast(Var a, Var row) {
+  Tape* t = a.tape();
+  GA_CHECK_EQ(row.rows(), 1);
+  GA_CHECK_EQ(row.cols(), a.cols());
+  const int aid = a.id(), rid = row.id();
+  Matrix y = a.value();
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    for (int64_t c = 0; c < y.cols(); ++c) y.at(r, c) += row.value()[c];
+  }
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(rid);
+  return t->Emit(std::move(y), ng, [aid, rid](Tape* t, const Matrix& up) {
+    t->AccumulateGrad(aid, up);
+    if (t->NeedsGrad(rid)) {
+      Matrix g(1, up.cols());
+      for (int64_t r = 0; r < up.rows(); ++r) {
+        for (int64_t c = 0; c < up.cols(); ++c) g[c] += up.at(r, c);
+      }
+      t->AccumulateGrad(rid, g);
+    }
+  });
+}
+
+Var MulRowBroadcast(Var a, Var row) {
+  Tape* t = a.tape();
+  GA_CHECK_EQ(row.rows(), 1);
+  GA_CHECK_EQ(row.cols(), a.cols());
+  const int aid = a.id(), rid = row.id();
+  Matrix y = a.value();
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    for (int64_t c = 0; c < y.cols(); ++c) y.at(r, c) *= row.value()[c];
+  }
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(rid);
+  return t->Emit(std::move(y), ng, [aid, rid](Tape* t, const Matrix& up) {
+    const Matrix& av = t->ValueOf(aid);
+    const Matrix& rv = t->ValueOf(rid);
+    if (t->NeedsGrad(aid)) {
+      Matrix g(up.rows(), up.cols());
+      for (int64_t r = 0; r < up.rows(); ++r) {
+        for (int64_t c = 0; c < up.cols(); ++c) {
+          g.at(r, c) = up.at(r, c) * rv[c];
+        }
+      }
+      t->AccumulateGrad(aid, g);
+    }
+    if (t->NeedsGrad(rid)) {
+      Matrix g(1, up.cols());
+      for (int64_t r = 0; r < up.rows(); ++r) {
+        for (int64_t c = 0; c < up.cols(); ++c) {
+          g[c] += up.at(r, c) * av.at(r, c);
+        }
+      }
+      t->AccumulateGrad(rid, g);
+    }
+  });
+}
+
+Var MulColBroadcast(Var a, Var col) {
+  Tape* t = a.tape();
+  GA_CHECK_EQ(col.cols(), 1);
+  GA_CHECK_EQ(col.rows(), a.rows());
+  const int aid = a.id(), cid = col.id();
+  Matrix y = a.value();
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    const float s = col.value()[r];
+    for (int64_t c = 0; c < y.cols(); ++c) y.at(r, c) *= s;
+  }
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(cid);
+  return t->Emit(std::move(y), ng, [aid, cid](Tape* t, const Matrix& up) {
+    const Matrix& av = t->ValueOf(aid);
+    const Matrix& cv = t->ValueOf(cid);
+    if (t->NeedsGrad(aid)) {
+      Matrix g(up.rows(), up.cols());
+      for (int64_t r = 0; r < up.rows(); ++r) {
+        const float s = cv[r];
+        for (int64_t c = 0; c < up.cols(); ++c) g.at(r, c) = up.at(r, c) * s;
+      }
+      t->AccumulateGrad(aid, g);
+    }
+    if (t->NeedsGrad(cid)) {
+      Matrix g(up.rows(), 1);
+      for (int64_t r = 0; r < up.rows(); ++r) {
+        double s = 0;
+        for (int64_t c = 0; c < up.cols(); ++c) {
+          s += static_cast<double>(up.at(r, c)) * av.at(r, c);
+        }
+        g[r] = static_cast<float>(s);
+      }
+      t->AccumulateGrad(cid, g);
+    }
+  });
+}
+
+Var MeanAll(Var a) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  const float inv = a.value().size() > 0
+                        ? 1.f / static_cast<float>(a.value().size())
+                        : 0.f;
+  Matrix y(1, 1, static_cast<float>(graphaug::MeanAll(a.value())));
+  return t->Emit(std::move(y), t->NeedsGrad(aid),
+                 [aid, inv](Tape* t, const Matrix& up) {
+                   const Matrix& av = t->ValueOf(aid);
+                   Matrix g(av.rows(), av.cols(), up[0] * inv);
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var SumAll(Var a) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  Matrix y(1, 1, static_cast<float>(graphaug::SumAll(a.value())));
+  return t->Emit(std::move(y), t->NeedsGrad(aid),
+                 [aid](Tape* t, const Matrix& up) {
+                   const Matrix& av = t->ValueOf(aid);
+                   Matrix g(av.rows(), av.cols(), up[0]);
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var RowSum(Var a) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  return t->Emit(graphaug::RowSum(a.value()), t->NeedsGrad(aid),
+                 [aid](Tape* t, const Matrix& up) {
+                   const Matrix& av = t->ValueOf(aid);
+                   Matrix g(av.rows(), av.cols());
+                   for (int64_t r = 0; r < g.rows(); ++r) {
+                     const float s = up[r];
+                     for (int64_t c = 0; c < g.cols(); ++c) g.at(r, c) = s;
+                   }
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var RowDot(Var a, Var b) {
+  Tape* t = a.tape();
+  const int aid = a.id(), bid = b.id();
+  const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
+  return t->Emit(graphaug::RowDot(a.value(), b.value()), ng,
+                 [aid, bid](Tape* t, const Matrix& up) {
+                   const Matrix& av = t->ValueOf(aid);
+                   const Matrix& bv = t->ValueOf(bid);
+                   auto scatter = [&](int target, const Matrix& other) {
+                     Matrix g(other.rows(), other.cols());
+                     for (int64_t r = 0; r < g.rows(); ++r) {
+                       const float s = up[r];
+                       const float* orow = other.row(r);
+                       float* grow = g.row(r);
+                       for (int64_t c = 0; c < g.cols(); ++c) {
+                         grow[c] = s * orow[c];
+                       }
+                     }
+                     t->AccumulateGrad(target, g);
+                   };
+                   if (t->NeedsGrad(aid)) scatter(aid, bv);
+                   if (t->NeedsGrad(bid)) scatter(bid, av);
+                 });
+}
+
+Var LogSumExpRows(Var a) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  const Matrix& x = a.value();
+  Matrix y(x.rows(), 1);
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    float mx = row[0];
+    for (int64_t c = 1; c < x.cols(); ++c) mx = std::max(mx, row[c]);
+    double s = 0;
+    for (int64_t c = 0; c < x.cols(); ++c) s += std::exp(row[c] - mx);
+    y[r] = mx + static_cast<float>(std::log(s));
+  }
+  auto lse = std::make_shared<Matrix>(y);
+  return t->Emit(std::move(y), t->NeedsGrad(aid),
+                 [aid, lse](Tape* t, const Matrix& up) {
+                   const Matrix& x = t->ValueOf(aid);
+                   Matrix g(x.rows(), x.cols());
+                   for (int64_t r = 0; r < x.rows(); ++r) {
+                     const float* row = x.row(r);
+                     float* grow = g.row(r);
+                     const float l = (*lse)[r];
+                     const float u = up[r];
+                     for (int64_t c = 0; c < x.cols(); ++c) {
+                       grow[c] = u * std::exp(row[c] - l);
+                     }
+                   }
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var RowL2Normalize(Var a, float eps) {
+  Tape* t = a.tape();
+  const int aid = a.id();
+  const Matrix& x = a.value();
+  Matrix norms = RowNorm(x, eps);
+  Matrix y(x.rows(), x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float inv = 1.f / norms[r];
+    const float* xr = x.row(r);
+    float* yr = y.row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) yr[c] = xr[c] * inv;
+  }
+  auto norm_ptr = std::make_shared<Matrix>(std::move(norms));
+  auto y_ptr = std::make_shared<Matrix>(y);
+  return t->Emit(std::move(y), t->NeedsGrad(aid),
+                 [aid, norm_ptr, y_ptr](Tape* t, const Matrix& up) {
+                   // dx = (du - y * (y . du)) / ||x||
+                   const Matrix& y = *y_ptr;
+                   Matrix g(y.rows(), y.cols());
+                   for (int64_t r = 0; r < y.rows(); ++r) {
+                     const float* yr = y.row(r);
+                     const float* ur = up.row(r);
+                     float* gr = g.row(r);
+                     double dot = 0;
+                     for (int64_t c = 0; c < y.cols(); ++c) {
+                       dot += static_cast<double>(yr[c]) * ur[c];
+                     }
+                     const float inv = 1.f / (*norm_ptr)[r];
+                     for (int64_t c = 0; c < y.cols(); ++c) {
+                       gr[c] = (ur[c] - yr[c] * static_cast<float>(dot)) * inv;
+                     }
+                   }
+                   t->AccumulateGrad(aid, g);
+                 });
+}
+
+Var BprLoss(Var pos_scores, Var neg_scores) {
+  return MeanAll(Softplus(Sub(neg_scores, pos_scores)));
+}
+
+Var InfoNceLoss(Var view_a, Var view_b, float temperature) {
+  GA_CHECK_GT(temperature, 0.f);
+  Var za = RowL2Normalize(view_a);
+  Var zb = RowL2Normalize(view_b);
+  // Similarity matrix (n x n): za * zb^T / temperature.
+  Var sims = Scale(MatMul(za, zb, false, true), 1.f / temperature);
+  // Positive logits are the diagonal == row dots.
+  Var pos = Scale(RowDot(za, zb), 1.f / temperature);
+  Var lse = LogSumExpRows(sims);
+  return MeanAll(Sub(lse, pos));
+}
+
+Var GaussianKl(Var mu, Var raw_sigma) {
+  // sigma = softplus(raw) + 1e-6; KL = 0.5 * mean(mu^2 + sigma^2 - 2 log sigma - 1).
+  Var sigma = AddScalar(Softplus(raw_sigma), 1e-6f);
+  Var term = Sub(Add(Square(mu), Square(sigma)),
+                 AddScalar(Scale(Log(sigma, 0.f), 2.f), 1.f));
+  return Scale(MeanAll(term), 0.5f);
+}
+
+}  // namespace graphaug::ag

@@ -1,0 +1,42 @@
+#include "autograd/optim.h"
+
+#include <cmath>
+
+namespace graphaug {
+
+void Sgd::Step(ParamStore* store) {
+  for (Parameter* p : store->params()) {
+    if (!p->trainable) continue;
+    if (!p->grad.SameShape(p->value)) continue;
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] -= lr_ * (p->grad[i] + weight_decay_ * p->value[i]);
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Step(ParamStore* store) {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (Parameter* p : store->params()) {
+    if (!p->trainable) continue;
+    if (!p->grad.SameShape(p->value)) continue;
+    if (!p->adam_m.SameShape(p->value)) {
+      p->adam_m = Matrix(p->value.rows(), p->value.cols());
+      p->adam_v = Matrix(p->value.rows(), p->value.cols());
+    }
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i];
+      p->adam_m[i] = beta1_ * p->adam_m[i] + (1.f - beta1_) * g;
+      p->adam_v[i] = beta2_ * p->adam_v[i] + (1.f - beta2_) * g * g;
+      const float mhat = p->adam_m[i] / bc1;
+      const float vhat = p->adam_v[i] / bc2;
+      p->value[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                            weight_decay_ * p->value[i]);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace graphaug

@@ -1,0 +1,78 @@
+#ifndef GRAPHAUG_AUTOGRAD_OPTIM_H_
+#define GRAPHAUG_AUTOGRAD_OPTIM_H_
+
+#include "autograd/param.h"
+
+namespace graphaug {
+
+/// Interface for first-order optimizers over a ParamStore.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// store, then zeroes them.
+  virtual void Step(ParamStore* store) = 0;
+
+  /// Current base learning rate.
+  virtual float learning_rate() const = 0;
+  /// Overrides the base learning rate (used by decay schedules).
+  virtual void set_learning_rate(float lr) = 0;
+};
+
+/// Plain SGD with optional L2 weight decay (decoupled: applied to values).
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float weight_decay = 0.f)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step(ParamStore* store) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW when
+/// weight_decay > 0). Moment buffers live on the parameters.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+        weight_decay_(weight_decay) {}
+
+  void Step(ParamStore* store) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+};
+
+/// Multiplicative learning-rate decay applied every epoch:
+/// lr_{e+1} = lr_e * rate (the paper trains with decay 0.96).
+class ExponentialDecay {
+ public:
+  ExponentialDecay(Optimizer* opt, float rate) : opt_(opt), rate_(rate) {}
+
+  /// Calls at the end of each epoch.
+  void OnEpochEnd() { opt_->set_learning_rate(opt_->learning_rate() * rate_); }
+
+ private:
+  Optimizer* opt_;
+  float rate_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUTOGRAD_OPTIM_H_

@@ -1,0 +1,21 @@
+#include "autograd/param.h"
+
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+double ParamStore::SquaredParamNorm() const {
+  double s = 0;
+  for (const Parameter* p : ptrs_) {
+    if (p->trainable) s += SquaredNorm(p->value);
+  }
+  return s;
+}
+
+int64_t ParamStore::NumScalars() const {
+  int64_t n = 0;
+  for (const Parameter* p : ptrs_) n += p->value.size();
+  return n;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,84 @@
+#ifndef GRAPHAUG_AUTOGRAD_PARAM_H_
+#define GRAPHAUG_AUTOGRAD_PARAM_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/matrix.h"
+
+namespace graphaug {
+
+/// A persistent trainable tensor. Gradients accumulate into `grad` during
+/// Tape::Backward; optimizer state (Adam moments) is allocated lazily.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+  Matrix adam_m;
+  Matrix adam_v;
+  bool trainable = true;
+
+  /// Zeroes the accumulated gradient.
+  void ZeroGrad() {
+    if (!grad.SameShape(value)) grad = Matrix(value.rows(), value.cols());
+    grad.Zero();
+  }
+};
+
+/// Owns every parameter of a model. Pointers returned by the Create*
+/// methods are stable for the lifetime of the store (deque storage).
+class ParamStore {
+ public:
+  ParamStore() = default;
+  ParamStore(const ParamStore&) = delete;
+  ParamStore& operator=(const ParamStore&) = delete;
+
+  /// Creates a zero-initialized parameter.
+  Parameter* Create(const std::string& name, int64_t rows, int64_t cols) {
+    params_.push_back(Parameter{name, Matrix(rows, cols),
+                                Matrix(rows, cols), Matrix(), Matrix(), true});
+    ptrs_.push_back(&params_.back());
+    return &params_.back();
+  }
+
+  /// Creates a parameter initialized with N(0, stddev).
+  Parameter* CreateNormal(const std::string& name, int64_t rows, int64_t cols,
+                          Rng* rng, float stddev = 0.1f) {
+    Parameter* p = Create(name, rows, cols);
+    InitNormal(&p->value, rng, 0.f, stddev);
+    return p;
+  }
+
+  /// Creates a parameter with Xavier/Glorot-uniform initialization.
+  Parameter* CreateXavier(const std::string& name, int64_t rows, int64_t cols,
+                          Rng* rng) {
+    Parameter* p = Create(name, rows, cols);
+    InitXavier(&p->value, rng);
+    return p;
+  }
+
+  const std::vector<Parameter*>& params() const { return ptrs_; }
+
+  /// Zeroes every gradient.
+  void ZeroGrad() {
+    for (Parameter* p : ptrs_) p->ZeroGrad();
+  }
+
+  /// Sum of squared Frobenius norms over trainable parameters (used for the
+  /// weight-decay term β₃‖Θ‖² of Eq. 16).
+  double SquaredParamNorm() const;
+
+  /// Total number of scalar parameters.
+  int64_t NumScalars() const;
+
+ private:
+  std::deque<Parameter> params_;
+  std::vector<Parameter*> ptrs_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUTOGRAD_PARAM_H_

@@ -1,0 +1,88 @@
+#include "autograd/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "common/logging.h"
+
+namespace graphaug {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'A', 'C', 'K', 'P', 'T', '0', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const ParamStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  const uint64_t count = store.params().size();
+  WritePod(out, count);
+  for (const Parameter* p : store.params()) {
+    const uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    WritePod(out, name_len);
+    out.write(p->name.data(), name_len);
+    WritePod(out, static_cast<int64_t>(p->value.rows()));
+    WritePod(out, static_cast<int64_t>(p->value.cols()));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  return out.good();
+}
+
+bool LoadCheckpoint(ParamStore* store, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+    GA_LOG(Error) << "bad checkpoint magic in " << path;
+    return false;
+  }
+  std::map<std::string, Parameter*> by_name;
+  for (Parameter* p : store->params()) by_name[p->name] = p;
+
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) return false;
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    int64_t rows = 0, cols = 0;
+    if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) return false;
+    const int64_t n = rows * cols;
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      in.seekg(static_cast<std::streamoff>(n * sizeof(float)),
+               std::ios::cur);
+      continue;
+    }
+    Parameter* p = it->second;
+    if (p->value.rows() != rows || p->value.cols() != cols) {
+      GA_LOG(Error) << "shape mismatch for '" << name << "': file " << rows
+                    << "x" << cols << " vs store "
+                    << p->value.ShapeString();
+      return false;
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in.good()) return false;
+  }
+  return true;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,27 @@
+#ifndef GRAPHAUG_AUTOGRAD_SERIALIZE_H_
+#define GRAPHAUG_AUTOGRAD_SERIALIZE_H_
+
+#include <string>
+
+#include "autograd/param.h"
+
+namespace graphaug {
+
+/// Binary checkpointing for a model's parameters. The format is
+/// versioned and self-describing: per parameter it stores the name,
+/// shape, and float32 payload. Optimizer state is not persisted (resume
+/// restarts Adam moments, which is standard for inference checkpoints).
+
+/// Writes every parameter of `store` to `path`. Returns false on I/O
+/// failure.
+bool SaveCheckpoint(const ParamStore& store, const std::string& path);
+
+/// Loads values into matching parameters of `store` (matched by name;
+/// shapes must agree). Parameters present in the store but missing from
+/// the file are left untouched; extra file entries are ignored. Returns
+/// false on I/O failure or a shape mismatch.
+bool LoadCheckpoint(ParamStore* store, const std::string& path);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUTOGRAD_SERIALIZE_H_

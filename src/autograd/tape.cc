@@ -1,0 +1,58 @@
+#include "autograd/tape.h"
+
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+Var Tape::Emit(Matrix value, bool needs_grad,
+               std::function<void(Tape*, const Matrix&)> backward) {
+  Node node;
+  node.value = std::move(value);
+  node.backward = std::move(backward);
+  node.needs_grad = needs_grad;
+  nodes_.push_back(std::move(node));
+  return Var(this, static_cast<int>(nodes_.size()) - 1);
+}
+
+Var Tape::Leaf(Parameter* param) {
+  GA_CHECK(param != nullptr);
+  return Emit(param->value, param->trainable,
+              [param](Tape*, const Matrix& upstream) {
+                if (!param->trainable) return;
+                if (!param->grad.SameShape(param->value)) param->ZeroGrad();
+                AddInPlace(&param->grad, upstream);
+              });
+}
+
+Var Tape::Constant(Matrix value) {
+  return Emit(std::move(value), false, nullptr);
+}
+
+void Tape::Backward(Var root) {
+  GA_CHECK(root.valid() && root.tape() == this);
+  GA_CHECK_EQ(ValueOf(root.id()).size(), 1) << "Backward root must be scalar";
+  AccumulateGrad(root.id(), Matrix(1, 1, 1.f));
+  for (int id = root.id(); id >= 0; --id) {
+    Node& node = nodes_[static_cast<size_t>(id)];
+    if (!node.has_grad || !node.needs_grad || !node.backward) continue;
+    node.backward(this, node.grad);
+  }
+}
+
+void Tape::Reset() { nodes_.clear(); }
+
+void Tape::AccumulateGrad(int id, const Matrix& g) {
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (!node.needs_grad) return;
+  GA_CHECK(g.SameShape(node.value))
+      << "gradient shape " << g.ShapeString() << " vs value "
+      << node.value.ShapeString();
+  if (!node.has_grad) {
+    node.grad = g;
+    node.has_grad = true;
+  } else {
+    AddInPlace(&node.grad, g);
+  }
+}
+
+}  // namespace graphaug

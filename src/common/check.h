@@ -1,0 +1,74 @@
+#ifndef GRAPHAUG_COMMON_CHECK_H_
+#define GRAPHAUG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace graphaug {
+namespace internal_check {
+
+/// Aborts the process after printing a fatal-check message. Used by the
+/// CHECK family of macros below; never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "[FATAL] %s:%d: CHECK failed: %s %s\n", file, line,
+               expr, msg.c_str());
+  std::abort();
+}
+
+/// Stream sink that lets `CHECK(...) << "context"` collect a message and
+/// abort when destroyed.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, expr_, os_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal_check
+}  // namespace graphaug
+
+/// Fatal invariant checks. These are always on (including release builds):
+/// the library prefers a loud crash with context over silent corruption,
+/// matching the error-handling conventions of Status-free research code.
+#define GRAPHAUG_CHECK(cond)                                              \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::graphaug::internal_check::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define CHECK_OP_IMPL(a, b, op) GRAPHAUG_CHECK((a)op(b))                  \
+      << " (" << (a) << " vs " << (b) << ") "
+
+#define GA_CHECK(cond) GRAPHAUG_CHECK(cond)
+#define GA_CHECK_EQ(a, b) CHECK_OP_IMPL(a, b, ==)
+#define GA_CHECK_NE(a, b) CHECK_OP_IMPL(a, b, !=)
+#define GA_CHECK_LT(a, b) CHECK_OP_IMPL(a, b, <)
+#define GA_CHECK_LE(a, b) CHECK_OP_IMPL(a, b, <=)
+#define GA_CHECK_GT(a, b) CHECK_OP_IMPL(a, b, >)
+#define GA_CHECK_GE(a, b) CHECK_OP_IMPL(a, b, >=)
+
+/// Debug-only checks for hot paths; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define GA_DCHECK(cond) \
+  if (true) {           \
+  } else                \
+    GRAPHAUG_CHECK(cond)
+#else
+#define GA_DCHECK(cond) GA_CHECK(cond)
+#endif
+
+#endif  // GRAPHAUG_COMMON_CHECK_H_

@@ -1,0 +1,89 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace graphaug {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      // Bare switch. The space-separated `--key value` form is not
+      // supported: it is ambiguous with a boolean switch followed by a
+      // positional argument.
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  read_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) const {
+  read_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name,
+                           int64_t default_value) const {
+  read_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  GA_CHECK(end != nullptr && *end == '\0')
+      << "flag --" << name << " expects an integer, got '" << it->second
+      << "'";
+  return v;
+}
+
+double FlagParser::GetDouble(const std::string& name,
+                             double default_value) const {
+  read_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  GA_CHECK(end != nullptr && *end == '\0')
+      << "flag --" << name << " expects a number, got '" << it->second
+      << "'";
+  return v;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool default_value) const {
+  read_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string v = AsciiToLower(it->second);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  GA_CHECK(false) << "flag --" << name << " expects a boolean, got '"
+                  << it->second << "'";
+  return default_value;
+}
+
+std::vector<std::string> FlagParser::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (read_.find(name) == read_.end()) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace graphaug

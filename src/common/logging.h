@@ -1,0 +1,47 @@
+#ifndef GRAPHAUG_COMMON_LOGGING_H_
+#define GRAPHAUG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace graphaug {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it (with timestamp and severity tag)
+/// on destruction. Instantiated by the LOG(...) macro below.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal_logging
+}  // namespace graphaug
+
+#define GA_LOG(level)                                        \
+  if (::graphaug::LogLevel::k##level < ::graphaug::GetLogLevel()) { \
+  } else                                                     \
+    ::graphaug::internal_logging::LogMessage(                \
+        ::graphaug::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // GRAPHAUG_COMMON_LOGGING_H_

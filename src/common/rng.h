@@ -1,0 +1,109 @@
+#ifndef GRAPHAUG_COMMON_RNG_H_
+#define GRAPHAUG_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace graphaug {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**,
+/// seeded through SplitMix64). Every stochastic component in the library
+/// takes an explicit Rng so experiments reproduce bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator in place.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform float in [0, 1).
+  float UniformFloat() { return static_cast<float>(Uniform()); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo)));
+  }
+
+  /// Standard normal sample (Box–Muller with caching).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = Uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Logistic(0,1) sample: log(e / (1 - e)) for e ~ U(0,1). This is the
+  /// noise used by the concrete/Gumbel-softmax reparameterization (Eq. 5).
+  double Logistic() {
+    double u = Uniform();
+    if (u < 1e-12) u = 1e-12;
+    if (u > 1.0 - 1e-12) u = 1.0 - 1e-12;
+    return std::log(u / (1.0 - u));
+  }
+
+  /// Forks a statistically independent child generator. Useful for giving
+  /// each component (sampler, init, corruption) its own stream.
+  Rng Fork() { return Rng(NextU64() ^ 0xda3e39cb94b95bdbULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_RNG_H_

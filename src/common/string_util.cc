@@ -1,0 +1,52 @@
+#include "common/string_util.h"
+
+#include <cctype>
+
+namespace graphaug {
+
+std::vector<std::string> SplitString(std::string_view text,
+                                     std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find_first_of(delims, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    if (end > start) out.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string StripString(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return std::string(text.substr(b, e - b));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string AsciiToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace graphaug

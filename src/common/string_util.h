@@ -1,0 +1,29 @@
+#ifndef GRAPHAUG_COMMON_STRING_UTIL_H_
+#define GRAPHAUG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace graphaug {
+
+/// Splits `text` on any of the bytes in `delims`, skipping empty pieces.
+std::vector<std::string> SplitString(std::string_view text,
+                                     std::string_view delims = " \t");
+
+/// Removes leading/trailing whitespace.
+std::string StripString(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Joins `pieces` with `sep` between elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string AsciiToLower(std::string_view text);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_STRING_UTIL_H_

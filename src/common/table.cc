@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace graphaug {
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf);
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GA_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  GA_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  GA_CHECK_EQ(values.size() + 1, header_.size());
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto line = [&](char fill, char join) {
+    std::string s = "+";
+    for (size_t w : widths) {
+      s += std::string(w + 2, fill);
+      s += join;
+    }
+    s.back() = '+';
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size() + 1, ' ') + "|";
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = line('-', '+');
+  out += render_row(header_);
+  out += line('=', '+');
+  for (const auto& row : rows_) out += render_row(row);
+  out += line('-', '+');
+  return out;
+}
+
+std::string Table::ToTsv() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << header_[c] << (c + 1 == header_.size() ? '\n' : '\t');
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 == row.size() ? '\n' : '\t');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace graphaug

@@ -1,0 +1,46 @@
+#ifndef GRAPHAUG_COMMON_TABLE_H_
+#define GRAPHAUG_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace graphaug {
+
+/// ASCII table printer used by the experiment harnesses to emit
+/// paper-style result tables.
+///
+/// Usage:
+///   Table t({"Model", "Recall@20", "NDCG@20"});
+///   t.AddRow({"LightGCN", "0.1799", "0.1053"});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; its size must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  /// Renders the table with box-drawing separators.
+  std::string ToString() const;
+
+  /// Renders the table as tab-separated values (for machine consumption).
+  std::string ToTsv() const;
+
+  /// Number of data rows added so far.
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_TABLE_H_

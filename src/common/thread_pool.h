@@ -1,0 +1,52 @@
+#ifndef GRAPHAUG_COMMON_THREAD_POOL_H_
+#define GRAPHAUG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace graphaug {
+
+/// Minimal fixed-size thread pool used to parallelize full-ranking
+/// evaluation across users. Tasks are void() closures; Wait() blocks until
+/// the queue drains.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (defaults to hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_THREAD_POOL_H_

@@ -1,0 +1,55 @@
+#include "core/edge_scorer.h"
+
+#include "tensor/init.h"
+
+namespace graphaug {
+
+EdgeScorer::EdgeScorer(ParamStore* store, const std::string& name, int dim,
+                       Rng* rng, float noise_stddev)
+    : dim_(dim),
+      noise_stddev_(noise_stddev),
+      user_mask_(store->Create(name + ".user_mask", 1, dim)),
+      item_mask_(store->Create(name + ".item_mask", 1, dim)),
+      mlp_(store, name + ".mlp", {2 * static_cast<int64_t>(dim), dim, 1}, rng,
+           Activation::kLeakyRelu) {
+  // Mask logits start at +2 => masks near sigmoid(2) ≈ 0.88: begin close
+  // to the identity and learn what to suppress.
+  user_mask_->value.Fill(2.f);
+  item_mask_->value.Fill(2.f);
+  // Optimistic initialization of the retention probability: the final MLP
+  // bias starts positive so p((u,v)) ≈ 0.82 and early training sees
+  // near-complete graphs; the scorer then learns what to *remove*.
+  mlp_.layers().back().bias()->value.Fill(1.5f);
+}
+
+Var EdgeScorer::Score(Tape* tape, Var node_embeddings,
+                      const std::vector<Edge>& edges, int32_t item_offset,
+                      Rng* rng) const {
+  std::vector<int32_t> user_rows(edges.size());
+  std::vector<int32_t> item_rows(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    user_rows[e] = edges[e].user;
+    item_rows[e] = item_offset + edges[e].item;
+  }
+  Var hu = ag::GatherRows(node_embeddings, std::move(user_rows));
+  Var hv = ag::GatherRows(node_embeddings, std::move(item_rows));
+
+  // h̃ = (h - ε) ⊙ m + ε  ==  h ⊙ m + ε ⊙ (1 - m).
+  auto disturb = [&](Var h, Parameter* mask_param) {
+    Var m = ag::Sigmoid(ag::Leaf(tape, mask_param));
+    Var hm = ag::MulRowBroadcast(h, m);
+    if (rng == nullptr || noise_stddev_ <= 0.f) return hm;
+    Matrix eps(h.rows(), h.cols());
+    InitNormal(&eps, rng, 0.f, noise_stddev_);
+    Var one_minus_m = ag::AddScalar(ag::Neg(m), 1.f);
+    Var noise =
+        ag::MulRowBroadcast(ag::Constant(tape, std::move(eps)), one_minus_m);
+    return ag::Add(hm, noise);
+  };
+  Var tu = disturb(hu, user_mask_);
+  Var tv = disturb(hv, item_mask_);
+  Var logits = mlp_.Forward(tape, ag::ConcatCols(tu, tv));
+  return ag::Sigmoid(logits);
+}
+
+}  // namespace graphaug

@@ -1,0 +1,42 @@
+#ifndef GRAPHAUG_CORE_EDGE_SCORER_H_
+#define GRAPHAUG_CORE_EDGE_SCORER_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "graph/bipartite_graph.h"
+#include "nn/layers.h"
+
+namespace graphaug {
+
+/// Learnable graph augmentor Aug(G) of paper Eq. 4: estimates the
+/// probability of each observed interaction surviving into the augmented
+/// graph,
+///   p((u,v) | H̄) = σ( MLP( h̃_u ‖ h̃_v ) ),
+///   h̃ = (h̄ − ε) ⊙ m + ε,  ε ~ N(0, σ²I),
+/// where m is a learnable (sigmoid-gated) feature mask for the user/item
+/// sides and ε adaptively injects noise so the scorer distills robust
+/// features rather than memorizing coordinates.
+class EdgeScorer {
+ public:
+  EdgeScorer(ParamStore* store, const std::string& name, int dim, Rng* rng,
+             float noise_stddev = 0.1f);
+
+  /// Scores the given interactions from encoded node embeddings
+  /// ((I+J) x d, users first). Returns an (E x 1) vector of probabilities
+  /// in (0, 1). `rng` draws the per-call ε noise; pass nullptr for the
+  /// deterministic (noise-free) inference mode used by the case study.
+  Var Score(Tape* tape, Var node_embeddings, const std::vector<Edge>& edges,
+            int32_t item_offset, Rng* rng) const;
+
+ private:
+  int dim_;
+  float noise_stddev_;
+  Parameter* user_mask_;  ///< 1 x d mask logits (m_u = sigmoid)
+  Parameter* item_mask_;  ///< 1 x d mask logits (m_v = sigmoid)
+  Mlp mlp_;               ///< [2d -> d -> 1]
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_CORE_EDGE_SCORER_H_

@@ -1,0 +1,59 @@
+#include "core/gib.h"
+
+#include <cmath>
+
+namespace graphaug {
+
+Var GibPredictionTerm(Tape* tape, Var view, const TripletBatch& batch,
+                      int32_t item_offset) {
+  std::vector<int32_t> pos_nodes(batch.pos_items.size());
+  std::vector<int32_t> neg_nodes(batch.neg_items.size());
+  for (size_t i = 0; i < batch.pos_items.size(); ++i) {
+    pos_nodes[i] = item_offset + batch.pos_items[i];
+    neg_nodes[i] = item_offset + batch.neg_items[i];
+  }
+  Var u = ag::GatherRows(view, batch.users);
+  Var p = ag::GatherRows(view, pos_nodes);
+  Var n = ag::GatherRows(view, neg_nodes);
+  return ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+}
+
+Var GibCompressionTerm(Tape* tape, Var z, Var z_prime, Var z_dprime) {
+  // Mean-pool the three views (Eq. 10), split pooled dims into (μ, η),
+  // and take the Gaussian KL to the standard normal prior r(Z').
+  Var pooled = ag::Scale(ag::Add(ag::Add(z, z_prime), z_dprime), 1.f / 3.f);
+  // Equal halves; for odd d the final column is simply not constrained.
+  const int64_t half = pooled.cols() / 2;
+  GA_CHECK_GT(half, 0);
+  Var mu = ag::SliceCols(pooled, 0, half);
+  Var raw_sigma = ag::SliceCols(pooled, half, half);
+  return ag::GaussianKl(mu, raw_sigma);
+}
+
+Var BernoulliStructureKl(Tape* tape, Var probs, float prior) {
+  GA_CHECK(prior > 0.f && prior < 1.f);
+  // KL(Bern(p) || Bern(q)) = p log(p/q) + (1-p) log((1-p)/(1-q)).
+  constexpr float kEps = 1e-6f;
+  Var p = probs;
+  Var one_minus_p = ag::AddScalar(ag::Neg(p), 1.f);
+  Var term_pos = ag::Mul(
+      p, ag::AddScalar(ag::Log(p, kEps), -std::log(prior)));
+  Var term_neg = ag::Mul(
+      one_minus_p,
+      ag::AddScalar(ag::Log(one_minus_p, kEps), -std::log(1.f - prior)));
+  return ag::MeanAll(ag::Add(term_pos, term_neg));
+}
+
+Var GibLoss(Tape* tape, Var z, Var z_prime, Var z_dprime,
+            const TripletBatch& batch, int32_t item_offset,
+            const GibConfig& config) {
+  // Prediction term over both sampled views (Lemma 2 lower bound).
+  Var pred = ag::Scale(
+      ag::Add(GibPredictionTerm(tape, z_prime, batch, item_offset),
+              GibPredictionTerm(tape, z_dprime, batch, item_offset)),
+      0.5f);
+  Var kl = GibCompressionTerm(tape, z, z_prime, z_dprime);
+  return ag::Add(pred, ag::Scale(kl, config.beta));
+}
+
+}  // namespace graphaug

@@ -1,0 +1,57 @@
+#ifndef GRAPHAUG_CORE_GIB_H_
+#define GRAPHAUG_CORE_GIB_H_
+
+#include "autograd/ops.h"
+#include "data/sampler.h"
+
+namespace graphaug {
+
+/// Graph Information Bottleneck regularization (paper §III-B.3,
+/// Eqs. 6-10). The intractable GIB objective
+///   L_GIB = −I(Z'; Y) + β · I(Z'; A)
+/// is optimized through its variational surrogate L_KL (Eq. 9):
+///  - the prediction term −log q(Y|Z') is realized as the BPR likelihood
+///    of the training labels under the view embeddings (lower bound of
+///    I(Z'; Y), Lemma 2);
+///  - the compression term is KL( N(μ(Aₙ), η(Aₙ)) ‖ N(0, I) ), an upper
+///    bound of I(Z'; A) (Lemma 1), where (μ, η) come from mean-pooling
+///    the embeddings of the original and both sampled views (Eq. 10) and
+///    splitting the pooled d dims into d/2 means and d/2 scales.
+struct GibConfig {
+  float beta = 1.f;  ///< Lagrange multiplier β inside L_GIB (Eq. 2)
+};
+
+/// Computes L_KL ≈ L_GIB for the two sampled views. `z` is GE(G) on the
+/// original graph, `z_prime`/`z_dprime` the encodings of G' and G''
+/// ((I+J) x d each); `batch` supplies the labels Y (observed vs negative
+/// interactions); `item_offset` maps item ids to node rows.
+Var GibLoss(Tape* tape, Var z, Var z_prime, Var z_dprime,
+            const TripletBatch& batch, int32_t item_offset,
+            const GibConfig& config);
+
+/// The prediction half only: −log q(Y|Z') as BPR negative log-likelihood
+/// of the batch under the given embeddings. Exposed for the "w/o CL"
+/// ablation where GIB directly regularizes BPR.
+Var GibPredictionTerm(Tape* tape, Var view, const TripletBatch& batch,
+                      int32_t item_offset);
+
+/// The compression half only: KL( N(μ, η) ‖ N(0, I) ) from the pooled
+/// views (Lemma 1 / Eq. 10). Exposed so the model can weight the
+/// prediction and compression bounds independently — without a
+/// sufficiently-weighted prediction term the augmentor degenerates to
+/// dropping every edge (the contrastive loss alone is minimized by two
+/// identical empty views).
+Var GibCompressionTerm(Tape* tape, Var z, Var z_prime, Var z_dprime);
+
+/// Structure-level compression bound: mean over interactions of
+/// KL( Bernoulli(p_e) ‖ Bernoulli(prior) ) on the edge retention
+/// probabilities of Eq. 4. This is the Lemma-1 bound applied to the
+/// sampled adjacency A' itself (the VIB-for-graph-structure form): it
+/// keeps the augmentor from saturating all probabilities at 1, so the
+/// retention budget concentrates on edges that help the prediction bound
+/// — the mechanism that makes the learned denoising discriminative.
+Var BernoulliStructureKl(Tape* tape, Var probs, float prior);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_CORE_GIB_H_

@@ -1,0 +1,161 @@
+#include "core/graphaug.h"
+
+#include "models/debias.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+GraphAug::GraphAug(const Dataset* dataset, const GraphAugConfig& config)
+    : Recommender(dataset, config), gconfig_(config) {
+  adj_ = graph_.BuildNormalizedAdjacency(gconfig_.self_loop_weight);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+  if (gconfig_.use_mixhop) {
+    mixhop_ = std::make_unique<MixhopEncoder>(
+        &store_, "mixhop", config.dim, config.num_layers, gconfig_.hops,
+        config.leaky_slope, &rng_, gconfig_.mixhop_mode,
+        gconfig_.mixhop_activation);
+  } else {
+    // "w/o Mixhop" ablation: a standard GCN (per-layer transform +
+    // nonlinearity, last-layer output), which is exactly the encoder the
+    // paper swaps in — and the one that over-smooths (Table III).
+    for (int l = 0; l < config.num_layers; ++l) {
+      gcn_layers_.emplace_back(&store_, "gcn.l" + std::to_string(l),
+                               config.dim, config.dim, &rng_,
+                               /*bias=*/false);
+    }
+  }
+  scorer_ = std::make_unique<EdgeScorer>(&store_, "augmentor", config.dim,
+                                         &rng_, gconfig_.scorer_noise);
+}
+
+Var GraphAug::EncodeBase(Tape* tape, Var base) {
+  if (gconfig_.use_mixhop) {
+    return mixhop_->Encode(tape, &adj_.matrix, base);
+  }
+  Var h = base;
+  for (const Linear& layer : gcn_layers_) {
+    h = ag::LeakyRelu(layer.Forward(tape, ag::Spmm(&adj_.matrix, h)),
+                      config_.leaky_slope);
+  }
+  return h;
+}
+
+Var GraphAug::EncodeView(Tape* tape, Var edge_weights, Var base) {
+  if (gconfig_.use_mixhop) {
+    return mixhop_->EncodeWeighted(tape, &adj_, edge_weights, base);
+  }
+  Var h = base;
+  for (const Linear& layer : gcn_layers_) {
+    h = ag::LeakyRelu(
+        layer.Forward(tape, ag::EdgeWeightedSpmm(&adj_, edge_weights, h)),
+        config_.leaky_slope);
+  }
+  return h;
+}
+
+Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var base = ag::Leaf(tape, embeddings_);
+
+  // (Alg. 1, line 3) High-order embeddings of the observed graph.
+  Var h_bar = EncodeBase(tape, base);
+
+  // (Eq. 15) Main-task BPR on the observed-graph embeddings; optionally
+  // IPS-weighted (unbiased-SSL extension).
+  Var u = ag::GatherRows(h_bar, batch.users);
+  Var p = ag::GatherRows(h_bar, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h_bar, ToNodeIds(batch.neg_items));
+  Var pos_scores = ag::RowDot(u, p);
+  Var neg_scores = ag::RowDot(u, n);
+  Var loss;
+  if (gconfig_.ips_gamma > 0.f) {
+    if (propensities_.empty()) {
+      propensities_ = ItemPropensities(graph_, gconfig_.ips_gamma);
+    }
+    loss = IpsBprLoss(tape, pos_scores, neg_scores, batch.pos_items,
+                      propensities_);
+  } else {
+    loss = ag::BprLoss(pos_scores, neg_scores);
+  }
+
+  const bool needs_views = gconfig_.use_gib || gconfig_.use_cl;
+  if (!needs_views) return loss;
+
+  // (Eq. 4) Learnable augmentor scores every observed interaction.
+  Var probs =
+      scorer_->Score(tape, h_bar, graph_.edges(), ItemOffset(), &rng_);
+
+  // (Eq. 5 / Alg. 1 line 4) Two reparameterized graph samples.
+  Var w_prime = SampleEdgeWeights(tape, probs, gconfig_.concrete_temperature,
+                                  gconfig_.edge_threshold, &rng_);
+  Var w_dprime = SampleEdgeWeights(tape, probs, gconfig_.concrete_temperature,
+                                   gconfig_.edge_threshold, &rng_);
+
+  // (Eq. 11 / Alg. 1 line 5) Encode both augmented views.
+  Var z_prime = EncodeView(tape, w_prime, base);
+  Var z_dprime = EncodeView(tape, w_dprime, base);
+
+  // (Eq. 9-10 / Alg. 1 lines 6-7) GIB regularization: the prediction
+  // bound anchors the augmentor to the labels at O(1) weight; the KL
+  // compression bound carries the swept Lagrange weight β₁ (Fig. 5).
+  if (gconfig_.use_gib) {
+    Var pred = ag::Scale(
+        ag::Add(GibPredictionTerm(tape, z_prime, batch, ItemOffset()),
+                GibPredictionTerm(tape, z_dprime, batch, ItemOffset())),
+        0.5f * gconfig_.gib_pred_weight);
+    Var kl = GibCompressionTerm(tape, h_bar, z_prime, z_dprime);
+    loss = ag::Add(loss,
+                   ag::Add(pred, ag::Scale(kl, gconfig_.beta1 *
+                                                   gconfig_.gib_beta)));
+    if (gconfig_.structure_kl_weight > 0.f) {
+      Var skl = BernoulliStructureKl(tape, probs, gconfig_.structure_prior);
+      loss = ag::Add(loss, ag::Scale(skl, gconfig_.structure_kl_weight));
+    }
+  }
+
+  // (Eq. 14 / Alg. 1 line 8) Mixhop graph contrastive augmentation.
+  if (gconfig_.use_cl) {
+    std::vector<int32_t> users =
+        sampler_.SampleUsers(config_.contrast_batch, &rng_);
+    std::vector<int32_t> items =
+        ToNodeIds(sampler_.SampleItems(config_.contrast_batch, &rng_));
+    Var cl_user = ag::InfoNceLoss(ag::GatherRows(z_prime, users),
+                                  ag::GatherRows(z_dprime, users),
+                                  config_.temperature);
+    Var cl_item = ag::InfoNceLoss(ag::GatherRows(z_prime, items),
+                                  ag::GatherRows(z_dprime, items),
+                                  config_.temperature);
+    Var cl = ag::Add(cl_user, cl_item);
+    loss = ag::Add(loss, ag::Scale(cl, gconfig_.beta2 * config_.ssl_weight));
+  } else if (gconfig_.use_gib) {
+    // "w/o CL" variant: GIB directly regularizes the BPR objective via an
+    // extra prediction term on the denoised views.
+    Var extra = ag::Scale(
+        ag::Add(GibPredictionTerm(tape, z_prime, batch, ItemOffset()),
+                GibPredictionTerm(tape, z_dprime, batch, ItemOffset())),
+        0.5f * config_.ssl_weight);
+    loss = ag::Add(loss, extra);
+  }
+  return loss;
+}
+
+void GraphAug::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  // Forecasting phase: predictions use GE(G) on the observed graph.
+  Tape tape;
+  Var base = ag::Leaf(&tape, embeddings_);
+  Var h = EncodeBase(&tape, base);
+  *user_emb = SliceRows(h.value(), 0, graph_.num_users());
+  *item_emb = SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+}
+
+std::vector<float> GraphAug::EdgeProbabilities() {
+  Tape tape;
+  Var base = ag::Leaf(&tape, embeddings_);
+  Var h = EncodeBase(&tape, base);
+  Var probs =
+      scorer_->Score(&tape, h, graph_.edges(), ItemOffset(), nullptr);
+  const Matrix& pv = probs.value();
+  return std::vector<float>(pv.data(), pv.data() + pv.size());
+}
+
+}  // namespace graphaug

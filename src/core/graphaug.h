@@ -1,0 +1,108 @@
+#ifndef GRAPHAUG_CORE_GRAPHAUG_H_
+#define GRAPHAUG_CORE_GRAPHAUG_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/edge_scorer.h"
+#include "core/gib.h"
+#include "core/mixhop_encoder.h"
+#include "core/reparam_sampler.h"
+#include "models/propagation.h"
+#include "models/recommender.h"
+
+namespace graphaug {
+
+/// Full configuration of the GraphAug model (paper Eq. 16 / Alg. 1).
+/// The ablation switches reproduce the Fig. 2 variants.
+struct GraphAugConfig : ModelConfig {
+  std::vector<int> hops = {0, 1, 2};  ///< mixhop set M
+  /// Self-loop weight of Ã. The paper's Eq. 11 uses Ã = D^{-1/2}(A+I)D^{-1/2};
+  /// with the hop-0 term already carrying the identity signal, a
+  /// self-loop-free Ã (0.0) avoids double-counting self information and
+  /// propagates further on sparse graphs.
+  float self_loop_weight = 0.0f;
+  float concrete_temperature = 0.2f;  ///< τ₁ in Eq. 5
+  float edge_threshold = 0.2f;        ///< ξ (augmentation strength, Tab. IV)
+  float gib_beta = 1.f;               ///< β inside L_GIB (Eq. 2)
+  float beta1 = 1e-5f;                ///< weight of the GIB KL bound (Eq. 16)
+  /// Weight of the GIB prediction bound −log q(Y|Z'). Kept at O(1) rather
+  /// than folded under β₁: the prediction bound is what anchors the
+  /// learnable augmentor to the recommendation labels — without it the
+  /// contrastive term alone is minimized by degenerate all-dropped views.
+  float gib_pred_weight = 0.5f;
+  /// Prior retention probability π and weight of the structure-level
+  /// Bernoulli-KL compression bound KL(Bern(p_e) ‖ Bern(π)) — the
+  /// Lemma-1 bound applied to the sampled adjacency. Off by default:
+  /// measured on the simulated benchmarks it rescales the probabilities
+  /// toward π without improving noise discrimination or accuracy, but it
+  /// is the right knob when retention saturation is observed.
+  float structure_prior = 0.7f;
+  float structure_kl_weight = 0.0f;
+  /// Weight of L_CL in Eq. 16 (multiplies the shared ssl_weight). Tuned
+  /// on the simulated benchmarks: denoised views are already well aligned,
+  /// so a lighter contrastive pull than SGL-style baselines works best.
+  float beta2 = 0.2f;
+  float scorer_noise = 0.1f;          ///< ε std-dev in Eq. 4
+  /// Per-hop mixing parameterization (see MixhopMode). kVectorGate (the
+  /// paper's "learnable weight vector" combination) is the default; the
+  /// matrix-transform form of Eq. 12 is available for the ablation bench.
+  MixhopMode mixhop_mode = MixhopMode::kVectorGate;
+  bool mixhop_activation = true;      ///< apply δ (LeakyReLU) per layer
+  bool use_mixhop = true;   ///< false => standard-GCN encoder ("w/o Mixhop")
+  /// Unbiased-SSL extension (paper §VI future work): when > 0, the BPR and
+  /// GIB prediction terms are inverse-propensity weighted with popularity
+  /// propensities ρ_v ∝ deg_v^γ so long-tail items receive fair gradient
+  /// mass. 0 disables (paper-faithful default).
+  float ips_gamma = 0.f;
+  bool use_gib = true;      ///< false => drop L_GIB ("w/o GIB")
+  bool use_cl = true;       ///< false => drop L_CL; GIB regularizes BPR ("w/o CL")
+};
+
+/// GraphAug: GIB-regularized denoised graph augmentation with mixhop
+/// graph contrastive learning (ICDE 2024). One training step implements
+/// Alg. 1:
+///  1. encode the observed graph with the mixhop encoder → H̄;
+///  2. score every interaction with the learnable augmentor (Eq. 4);
+///  3. sample two differentiable augmented graphs G', G'' via the
+///     concrete reparameterization with threshold ξ (Eq. 5);
+///  4. encode both views → Z', Z'' (Eq. 11);
+///  5. GIB loss: variational prediction + KL compression bounds (Eq. 9-10);
+///  6. InfoNCE contrast between Z' and Z'' on users and items (Eq. 14);
+///  7. BPR on H̄ (Eq. 15); joint objective Eq. 16.
+class GraphAug : public Recommender {
+ public:
+  GraphAug(const Dataset* dataset, const GraphAugConfig& config);
+
+  std::string name() const override { return "GraphAug"; }
+
+  const GraphAugConfig& graphaug_config() const { return gconfig_; }
+
+  /// Learned retention probability p((u,v)|H̄) for every training
+  /// interaction, in graph-edge order (noise-free scorer pass). The case
+  /// study (Fig. 6) checks that generator-injected noise edges receive
+  /// lower probabilities.
+  std::vector<float> EdgeProbabilities();
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  /// Encodes with the configured encoder over a constant adjacency.
+  Var EncodeBase(Tape* tape, Var base);
+  /// Encodes over an edge-weighted (sampled) adjacency.
+  Var EncodeView(Tape* tape, Var edge_weights, Var base);
+
+  GraphAugConfig gconfig_;
+  NormalizedAdjacency adj_;  ///< Ã with self-loops over I+J nodes
+  Parameter* embeddings_;
+  std::unique_ptr<MixhopEncoder> mixhop_;
+  std::vector<Linear> gcn_layers_;  ///< "w/o Mixhop" standard-GCN ablation
+  std::unique_ptr<EdgeScorer> scorer_;
+  Matrix propensities_;  ///< lazily built when ips_gamma > 0
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_CORE_GRAPHAUG_H_

@@ -1,0 +1,39 @@
+#include "core/reparam_sampler.h"
+
+namespace graphaug {
+
+Var SampleEdgeWeights(Tape* tape, Var probs, float temperature,
+                      float threshold, Rng* rng) {
+  GA_CHECK_GT(temperature, 0.f);
+  GA_CHECK_EQ(probs.cols(), 1);
+  // logit(p) with clamped probabilities for stability.
+  Var logit_p = ag::Sub(ag::Log(probs, 1e-6f),
+                        ag::Log(ag::AddScalar(ag::Neg(probs), 1.f), 1e-6f));
+  Matrix noise(probs.rows(), 1);
+  for (int64_t i = 0; i < noise.size(); ++i) {
+    noise[i] = static_cast<float>(rng->Logistic());
+  }
+  Var perturbed = ag::Add(logit_p, ag::Constant(tape, std::move(noise)));
+  Var soft = ag::Sigmoid(ag::Scale(perturbed, 1.f / temperature));
+  if (threshold <= 0.f) return soft;
+  // Hard threshold as a constant gate derived from the forward value:
+  // kept edges retain the soft weight (and its gradient), dropped edges
+  // become exactly 0 with no gradient — Eq. 5's piecewise form.
+  Matrix gate(probs.rows(), 1);
+  const Matrix& s = soft.value();
+  for (int64_t i = 0; i < gate.size(); ++i) {
+    gate[i] = s[i] > threshold ? 1.f : 0.f;
+  }
+  return ag::Mul(soft, ag::Constant(tape, std::move(gate)));
+}
+
+Var ThresholdEdgeWeights(Tape* tape, Var probs, float threshold) {
+  Matrix gate(probs.rows(), 1);
+  const Matrix& p = probs.value();
+  for (int64_t i = 0; i < gate.size(); ++i) {
+    gate[i] = p[i] > threshold ? 1.f : 0.f;
+  }
+  return ag::Mul(probs, ag::Constant(tape, std::move(gate)));
+}
+
+}  // namespace graphaug

@@ -1,0 +1,31 @@
+#ifndef GRAPHAUG_CORE_REPARAM_SAMPLER_H_
+#define GRAPHAUG_CORE_REPARAM_SAMPLER_H_
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace graphaug {
+
+/// Graph sampling with reparameterization (paper Eq. 5): produces
+/// differentiable soft edge weights
+///   ā' = σ( (logit(p) + logit(ε')) / τ₁ ),  ε' ~ U(0,1)
+///   a' = ā'  if ā' > ξ,  else 0
+/// The logistic noise logit(ε') is the binary concrete / Gumbel-softmax
+/// relaxation; the threshold ξ hard-drops low-confidence edges (the
+/// augmentation-strength knob of Table IV). Gradients flow through the
+/// retained soft weights back to the edge-scorer MLP; dropped edges are
+/// cut from the gradient path, matching the piecewise definition.
+///
+/// `probs` is the (E x 1) output of EdgeScorer; returns an (E x 1) weight
+/// vector consumable by ag::EdgeWeightedSpmm. Each call draws fresh noise,
+/// so calling twice yields the two views G' and G''.
+Var SampleEdgeWeights(Tape* tape, Var probs, float temperature,
+                      float threshold, Rng* rng);
+
+/// Deterministic variant without concrete noise (used at inference and in
+/// tests): weights are p thresholded at ξ.
+Var ThresholdEdgeWeights(Tape* tape, Var probs, float threshold);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_CORE_REPARAM_SAMPLER_H_

@@ -1,0 +1,43 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace graphaug {
+
+std::vector<std::vector<int32_t>> Dataset::TestItemsByUser() const {
+  std::vector<std::vector<int32_t>> out(num_users);
+  for (const Edge& e : test_edges) out[e.user].push_back(e.item);
+  for (auto& v : out) std::sort(v.begin(), v.end());
+  return out;
+}
+
+void SplitLeaveOut(const std::vector<Edge>& edges, double test_fraction,
+                   Rng* rng, std::vector<Edge>* train,
+                   std::vector<Edge>* test) {
+  GA_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  train->clear();
+  test->clear();
+  // Bucket per user, shuffle, then hold out the tail.
+  int32_t max_user = 0;
+  for (const Edge& e : edges) max_user = std::max(max_user, e.user);
+  std::vector<std::vector<Edge>> per_user(max_user + 1);
+  for (const Edge& e : edges) per_user[e.user].push_back(e);
+  for (auto& bucket : per_user) {
+    if (bucket.empty()) continue;
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (size_t i = bucket.size(); i > 1; --i) {
+      std::swap(bucket[i - 1], bucket[rng->UniformInt(i)]);
+    }
+    size_t n_test = static_cast<size_t>(test_fraction * bucket.size());
+    n_test = std::min(n_test, bucket.size() - 1);  // keep >= 1 for training
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (i < bucket.size() - n_test) {
+        train->push_back(bucket[i]);
+      } else {
+        test->push_back(bucket[i]);
+      }
+    }
+  }
+}
+
+}  // namespace graphaug

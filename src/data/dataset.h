@@ -1,0 +1,48 @@
+#ifndef GRAPHAUG_DATA_DATASET_H_
+#define GRAPHAUG_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace graphaug {
+
+/// An implicit-feedback recommendation dataset with a train/test split.
+/// Users and items are dense 0-based ids. `noise_flags` (optional, same
+/// length as train_edges) marks interactions the synthetic generator knows
+/// to be preference-inconsistent — ground truth for the denoising case
+/// study (Fig. 6).
+struct Dataset {
+  std::string name;
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  std::vector<Edge> train_edges;
+  std::vector<Edge> test_edges;
+  std::vector<bool> noise_flags;
+
+  /// Builds the training interaction graph.
+  BipartiteGraph TrainGraph() const {
+    return BipartiteGraph(num_users, num_items, train_edges);
+  }
+
+  /// Per-user test item lists (sorted), indexed by user id.
+  std::vector<std::vector<int32_t>> TestItemsByUser() const;
+
+  /// Observed training density |E| / (I*J).
+  double TrainDensity() const {
+    return static_cast<double>(train_edges.size()) /
+           (static_cast<double>(num_users) * num_items);
+  }
+};
+
+/// Splits `edges` into train/test by holding out `test_fraction` of each
+/// user's interactions (at least one is always kept for training).
+void SplitLeaveOut(const std::vector<Edge>& edges, double test_fraction,
+                   Rng* rng, std::vector<Edge>* train,
+                   std::vector<Edge>* test);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_DATA_DATASET_H_

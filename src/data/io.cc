@@ -1,0 +1,70 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace graphaug {
+
+bool SaveDatasetTsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "#name\t" << dataset.name << "\n";
+  out << "#users\t" << dataset.num_users << "\n";
+  out << "#items\t" << dataset.num_items << "\n";
+  const bool has_flags =
+      dataset.noise_flags.size() == dataset.train_edges.size();
+  for (size_t i = 0; i < dataset.train_edges.size(); ++i) {
+    const Edge& e = dataset.train_edges[i];
+    out << e.user << "\t" << e.item << "\ttrain";
+    if (has_flags) out << "\t" << (dataset.noise_flags[i] ? 1 : 0);
+    out << "\n";
+  }
+  for (const Edge& e : dataset.test_edges) {
+    out << e.user << "\t" << e.item << "\ttest\n";
+  }
+  return out.good();
+}
+
+bool LoadDatasetTsv(const std::string& path, Dataset* dataset) {
+  std::ifstream in(path);
+  if (!in) return false;
+  *dataset = Dataset();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto parts = SplitString(line.substr(1), "\t");
+      GA_CHECK_GE(parts.size(), 2u) << "bad header: " << line;
+      if (parts[0] == "name") {
+        dataset->name = parts[1];
+      } else if (parts[0] == "users") {
+        dataset->num_users = std::stoi(parts[1]);
+      } else if (parts[0] == "items") {
+        dataset->num_items = std::stoi(parts[1]);
+      }
+      continue;
+    }
+    const auto parts = SplitString(line, "\t");
+    GA_CHECK_GE(parts.size(), 3u) << "bad row: " << line;
+    Edge e{std::stoi(parts[0]), std::stoi(parts[1])};
+    if (parts[2] == "train") {
+      dataset->train_edges.push_back(e);
+      if (parts.size() >= 4) {
+        dataset->noise_flags.push_back(parts[3] == "1");
+      }
+    } else if (parts[2] == "test") {
+      dataset->test_edges.push_back(e);
+    } else {
+      GA_CHECK(false) << "bad split tag: " << parts[2];
+    }
+  }
+  if (dataset->noise_flags.size() != dataset->train_edges.size()) {
+    dataset->noise_flags.clear();
+  }
+  return true;
+}
+
+}  // namespace graphaug

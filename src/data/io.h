@@ -1,0 +1,21 @@
+#ifndef GRAPHAUG_DATA_IO_H_
+#define GRAPHAUG_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace graphaug {
+
+/// Saves a dataset as TSV: header lines `#name`, `#users N`, `#items M`,
+/// then one `user<TAB>item<TAB>split[<TAB>noise]` row per interaction,
+/// where split is "train" or "test". Returns false on I/O failure.
+bool SaveDatasetTsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset saved by SaveDatasetTsv. Aborts on malformed content;
+/// returns false if the file cannot be opened.
+bool LoadDatasetTsv(const std::string& path, Dataset* dataset);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_DATA_IO_H_

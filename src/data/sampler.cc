@@ -1,0 +1,74 @@
+#include "data/sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphaug {
+
+TripletSampler::TripletSampler(const BipartiteGraph* graph) : graph_(graph) {
+  GA_CHECK(graph != nullptr);
+  GA_CHECK_GT(graph->num_edges(), 0);
+}
+
+TripletBatch TripletSampler::Sample(int batch_size, Rng* rng) const {
+  TripletBatch batch;
+  batch.users.reserve(batch_size);
+  batch.pos_items.reserve(batch_size);
+  batch.neg_items.reserve(batch_size);
+  const auto& edges = graph_->edges();
+  for (int i = 0; i < batch_size; ++i) {
+    const Edge& e = edges[static_cast<size_t>(rng->UniformInt(edges.size()))];
+    int32_t neg = -1;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const int32_t candidate =
+          static_cast<int32_t>(rng->UniformInt(graph_->num_items()));
+      if (!graph_->HasEdge(e.user, candidate)) {
+        neg = candidate;
+        break;
+      }
+    }
+    if (neg < 0) continue;  // pathologically dense user; skip
+    batch.users.push_back(e.user);
+    batch.pos_items.push_back(e.item);
+    batch.neg_items.push_back(neg);
+  }
+  return batch;
+}
+
+namespace {
+
+std::vector<int32_t> SampleDistinct(int32_t universe, int batch_size,
+                                    Rng* rng) {
+  if (batch_size >= universe) {
+    std::vector<int32_t> all(universe);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  // Partial Fisher-Yates over an index map would need O(universe); for the
+  // sizes here a rejection set is fine.
+  std::vector<int32_t> out;
+  std::vector<bool> taken(universe, false);
+  out.reserve(batch_size);
+  while (static_cast<int>(out.size()) < batch_size) {
+    const int32_t x = static_cast<int32_t>(rng->UniformInt(universe));
+    if (!taken[x]) {
+      taken[x] = true;
+      out.push_back(x);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int32_t> TripletSampler::SampleUsers(int batch_size,
+                                                 Rng* rng) const {
+  return SampleDistinct(graph_->num_users(), batch_size, rng);
+}
+
+std::vector<int32_t> TripletSampler::SampleItems(int batch_size,
+                                                 Rng* rng) const {
+  return SampleDistinct(graph_->num_items(), batch_size, rng);
+}
+
+}  // namespace graphaug

@@ -1,0 +1,44 @@
+#ifndef GRAPHAUG_DATA_SAMPLER_H_
+#define GRAPHAUG_DATA_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace graphaug {
+
+/// A batch of BPR training triplets (u, v⁺, v⁻) with y(u,v⁺)=1 and
+/// y(u,v⁻)=0 (Eq. 15). Item ids are *item-local* (0..J-1).
+struct TripletBatch {
+  std::vector<int32_t> users;
+  std::vector<int32_t> pos_items;
+  std::vector<int32_t> neg_items;
+
+  size_t size() const { return users.size(); }
+};
+
+/// Samples BPR triplets uniformly over observed interactions, with
+/// rejection-sampled negatives not interacted by the user.
+class TripletSampler {
+ public:
+  /// The graph must outlive the sampler.
+  explicit TripletSampler(const BipartiteGraph* graph);
+
+  /// Draws `batch_size` triplets.
+  TripletBatch Sample(int batch_size, Rng* rng) const;
+
+  /// Draws a batch of distinct users (for contrastive objectives); if the
+  /// graph has fewer users than `batch_size`, all users are returned.
+  std::vector<int32_t> SampleUsers(int batch_size, Rng* rng) const;
+
+  /// Draws a batch of distinct items.
+  std::vector<int32_t> SampleItems(int batch_size, Rng* rng) const;
+
+ private:
+  const BipartiteGraph* graph_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_DATA_SAMPLER_H_

@@ -1,0 +1,87 @@
+#include "data/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphaug {
+
+DatasetStats ComputeStats(const Dataset& dataset) {
+  DatasetStats s;
+  s.num_users = dataset.num_users;
+  s.num_items = dataset.num_items;
+  s.num_train = static_cast<int64_t>(dataset.train_edges.size());
+  s.num_test = static_cast<int64_t>(dataset.test_edges.size());
+  s.density = dataset.TrainDensity();
+
+  std::vector<int64_t> udeg(dataset.num_users, 0);
+  std::vector<int64_t> ideg(dataset.num_items, 0);
+  for (const Edge& e : dataset.train_edges) {
+    udeg[e.user]++;
+    ideg[e.item]++;
+  }
+  int64_t maxd = 0, sumd = 0;
+  for (int64_t d : udeg) {
+    maxd = std::max(maxd, d);
+    sumd += d;
+  }
+  s.mean_user_degree =
+      dataset.num_users ? static_cast<double>(sumd) / dataset.num_users : 0;
+  s.max_user_degree = static_cast<double>(maxd);
+
+  // Gini coefficient over item popularity.
+  std::sort(ideg.begin(), ideg.end());
+  const double total = std::accumulate(ideg.begin(), ideg.end(), 0.0);
+  if (total > 0) {
+    double weighted = 0;
+    for (size_t i = 0; i < ideg.size(); ++i) {
+      weighted += (2.0 * (i + 1) - ideg.size() - 1) * ideg[i];
+    }
+    s.gini_item_popularity = weighted / (ideg.size() * total);
+  }
+  return s;
+}
+
+std::vector<std::vector<int32_t>> GroupUsersByDegree(
+    const Dataset& dataset, const std::vector<int>& bounds) {
+  GA_CHECK_GE(bounds.size(), 2u);
+  std::vector<int64_t> udeg(dataset.num_users, 0);
+  for (const Edge& e : dataset.train_edges) udeg[e.user]++;
+  std::vector<std::vector<int32_t>> groups(bounds.size() - 1);
+  for (int32_t u = 0; u < dataset.num_users; ++u) {
+    for (size_t g = 0; g + 1 < bounds.size(); ++g) {
+      if (udeg[u] >= bounds[g] && udeg[u] < bounds[g + 1]) {
+        groups[g].push_back(u);
+        break;
+      }
+    }
+  }
+  return groups;
+}
+
+std::vector<std::vector<int32_t>> GroupItemsByDegree(
+    const Dataset& dataset, const std::vector<int>& bounds) {
+  GA_CHECK_GE(bounds.size(), 2u);
+  std::vector<int64_t> ideg(dataset.num_items, 0);
+  for (const Edge& e : dataset.train_edges) ideg[e.item]++;
+  std::vector<std::vector<int32_t>> groups(bounds.size() - 1);
+  for (int32_t v = 0; v < dataset.num_items; ++v) {
+    for (size_t g = 0; g + 1 < bounds.size(); ++g) {
+      if (ideg[v] >= bounds[g] && ideg[v] < bounds[g + 1]) {
+        groups[g].push_back(v);
+        break;
+      }
+    }
+  }
+  return groups;
+}
+
+std::vector<std::string> GroupLabels(const std::vector<int>& bounds) {
+  std::vector<std::string> labels;
+  for (size_t g = 0; g + 1 < bounds.size(); ++g) {
+    labels.push_back(std::to_string(bounds[g]) + "-" +
+                     std::to_string(bounds[g + 1]));
+  }
+  return labels;
+}
+
+}  // namespace graphaug

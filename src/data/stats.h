@@ -1,0 +1,44 @@
+#ifndef GRAPHAUG_DATA_STATS_H_
+#define GRAPHAUG_DATA_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace graphaug {
+
+/// Summary statistics of a dataset, used by the Table I reproduction and
+/// the degree-group split of Table V.
+struct DatasetStats {
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+  int64_t num_train = 0;
+  int64_t num_test = 0;
+  double density = 0;
+  double mean_user_degree = 0;
+  double max_user_degree = 0;
+  double gini_item_popularity = 0;  ///< 0 = uniform, 1 = fully skewed.
+};
+
+/// Computes the summary.
+DatasetStats ComputeStats(const Dataset& dataset);
+
+/// Buckets users by *training* degree into half-open ranges
+/// [bounds[i], bounds[i+1]); e.g. bounds {0,10,20,30,40,50} gives the
+/// paper's five groups. Returns per-group user lists.
+std::vector<std::vector<int32_t>> GroupUsersByDegree(
+    const Dataset& dataset, const std::vector<int>& bounds);
+
+/// Same bucketing on the item side (items by training popularity); the
+/// item half of the Table V skew study. Returns sorted per-group item
+/// lists.
+std::vector<std::vector<int32_t>> GroupItemsByDegree(
+    const Dataset& dataset, const std::vector<int>& bounds);
+
+/// Human-readable group labels ("0-10", "10-20", ...).
+std::vector<std::string> GroupLabels(const std::vector<int>& bounds);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_DATA_STATS_H_

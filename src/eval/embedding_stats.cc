@@ -1,0 +1,128 @@
+#include "eval/embedding_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+double RowCos(const Matrix& m, int64_t i, int64_t j) {
+  const float* a = m.row(i);
+  const float* b = m.row(j);
+  double dot = 0, na = 0, nb = 0;
+  for (int64_t c = 0; c < m.cols(); ++c) {
+    dot += static_cast<double>(a[c]) * b[c];
+    na += static_cast<double>(a[c]) * a[c];
+    nb += static_cast<double>(b[c]) * b[c];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? dot / denom : 0.0;
+}
+
+}  // namespace
+
+double ComputeMad(const Matrix& embeddings, int num_pairs, Rng* rng) {
+  GA_CHECK_GE(embeddings.rows(), 2);
+  double acc = 0;
+  int counted = 0;
+  for (int p = 0; p < num_pairs; ++p) {
+    const int64_t i = static_cast<int64_t>(rng->UniformInt(embeddings.rows()));
+    int64_t j = static_cast<int64_t>(rng->UniformInt(embeddings.rows()));
+    if (i == j) continue;
+    acc += 1.0 - RowCos(embeddings, i, j);
+    ++counted;
+  }
+  return counted > 0 ? acc / counted : 0.0;
+}
+
+double ComputeUniformity(const Matrix& embeddings, int num_pairs, Rng* rng,
+                         double t) {
+  GA_CHECK_GE(embeddings.rows(), 2);
+  // Normalize rows first.
+  Matrix norms = RowNorm(embeddings);
+  double acc = 0;
+  int counted = 0;
+  for (int p = 0; p < num_pairs; ++p) {
+    const int64_t i = static_cast<int64_t>(rng->UniformInt(embeddings.rows()));
+    int64_t j = static_cast<int64_t>(rng->UniformInt(embeddings.rows()));
+    if (i == j) continue;
+    double dist2 = 0;
+    const float* a = embeddings.row(i);
+    const float* b = embeddings.row(j);
+    for (int64_t c = 0; c < embeddings.cols(); ++c) {
+      const double da = a[c] / norms[i];
+      const double db = b[c] / norms[j];
+      dist2 += (da - db) * (da - db);
+    }
+    acc += std::exp(-t * dist2);
+    ++counted;
+  }
+  return counted > 0 ? std::log(acc / counted) : 0.0;
+}
+
+double ComputeAlignment(const Matrix& a, const Matrix& b) {
+  GA_CHECK(a.SameShape(b));
+  Matrix cos = RowCosine(a, b);
+  return MeanAll(cos);
+}
+
+Matrix PcaProject2d(const Matrix& embeddings, Rng* rng, int iterations) {
+  const int64_t n = embeddings.rows();
+  const int64_t d = embeddings.cols();
+  GA_CHECK_GE(d, 2);
+  // Center.
+  Matrix centered = embeddings;
+  for (int64_t c = 0; c < d; ++c) {
+    double mean = 0;
+    for (int64_t r = 0; r < n; ++r) mean += centered.at(r, c);
+    mean /= std::max<int64_t>(1, n);
+    for (int64_t r = 0; r < n; ++r) {
+      centered.at(r, c) -= static_cast<float>(mean);
+    }
+  }
+  // Power iteration for two leading eigenvectors of X^T X with deflation.
+  auto power_component = [&](const Matrix* deflate) {
+    Matrix v(d, 1);
+    for (int64_t i = 0; i < d; ++i) {
+      v[i] = static_cast<float>(rng->Gaussian());
+    }
+    Matrix xv, xtxv;
+    for (int it = 0; it < iterations; ++it) {
+      if (deflate != nullptr) {
+        // v <- v - (v . u) u
+        double dot = 0;
+        for (int64_t i = 0; i < d; ++i) dot += static_cast<double>(v[i]) * (*deflate)[i];
+        for (int64_t i = 0; i < d; ++i) {
+          v[i] -= static_cast<float>(dot) * (*deflate)[i];
+        }
+      }
+      Gemm(centered, false, v, false, 1.f, 0.f, &xv);      // (n x 1)
+      Gemm(centered, true, xv, false, 1.f, 0.f, &xtxv);    // (d x 1)
+      double norm = std::sqrt(SquaredNorm(xtxv));
+      if (norm < 1e-12) break;
+      for (int64_t i = 0; i < d; ++i) {
+        v[i] = static_cast<float>(xtxv[i] / norm);
+      }
+    }
+    return v;
+  };
+  Matrix u1 = power_component(nullptr);
+  Matrix u2 = power_component(&u1);
+  Matrix proj(n, 2);
+  for (int64_t r = 0; r < n; ++r) {
+    double p1 = 0, p2 = 0;
+    const float* row = centered.row(r);
+    for (int64_t c = 0; c < d; ++c) {
+      p1 += static_cast<double>(row[c]) * u1[c];
+      p2 += static_cast<double>(row[c]) * u2[c];
+    }
+    proj.at(r, 0) = static_cast<float>(p1);
+    proj.at(r, 1) = static_cast<float>(p2);
+  }
+  return proj;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,35 @@
+#ifndef GRAPHAUG_EVAL_EMBEDDING_STATS_H_
+#define GRAPHAUG_EVAL_EMBEDDING_STATS_H_
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace graphaug {
+
+/// MAD — Mean Average Distance over node-embedding pairs (Chen et al.,
+/// "Measuring and Relieving the Over-smoothing Problem"), the
+/// over-smoothing diagnostic of Tables III and VII. Defined as the mean of
+/// the cosine distances 1 - cos(h_i, h_j) over node pairs; estimated here
+/// from `num_pairs` uniformly sampled pairs for tractability. Higher MAD
+/// means less over-smoothing (embeddings are more spread out).
+double ComputeMad(const Matrix& embeddings, int num_pairs, Rng* rng);
+
+/// Uniformity metric of Wang & Isola (2020):
+///   log E[exp(-t * ||z_i - z_j||^2)]   over L2-normalized embeddings.
+/// More negative = more uniform on the hypersphere. Quantifies the Fig. 7
+/// distribution comparison without a UMAP dependency.
+double ComputeUniformity(const Matrix& embeddings, int num_pairs, Rng* rng,
+                         double t = 2.0);
+
+/// Mean cosine similarity of matched rows between two embedding tables
+/// (alignment diagnostic for contrastive views).
+double ComputeAlignment(const Matrix& a, const Matrix& b);
+
+/// Projects embeddings to 2-D via PCA (power iteration on the covariance,
+/// two leading components). The Fig. 7 substitute for UMAP: returns an
+/// (n x 2) matrix suitable for CSV export and scatter-plotting.
+Matrix PcaProject2d(const Matrix& embeddings, Rng* rng, int iterations = 60);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_EVAL_EMBEDDING_STATS_H_

@@ -1,0 +1,129 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace graphaug {
+
+Evaluator::Evaluator(const Dataset* dataset, std::vector<int> ks)
+    : dataset_(dataset), ks_(std::move(ks)) {
+  GA_CHECK(dataset != nullptr);
+  GA_CHECK(!ks_.empty());
+  max_k_ = *std::max_element(ks_.begin(), ks_.end());
+  test_items_ = dataset->TestItemsByUser();
+  train_items_.assign(dataset->num_users, {});
+  for (const Edge& e : dataset->train_edges) {
+    train_items_[e.user].push_back(e.item);
+  }
+  for (auto& v : train_items_) std::sort(v.begin(), v.end());
+  for (int32_t u = 0; u < dataset->num_users; ++u) {
+    if (!test_items_[u].empty()) evaluable_users_.push_back(u);
+  }
+}
+
+TopKMetrics Evaluator::Evaluate(const ScoreFn& scorer) const {
+  return EvaluateUsers(scorer, evaluable_users_);
+}
+
+namespace {
+
+/// Shared ranking loop: scores users in batches, masks training items,
+/// extracts the top-K ranking, and accumulates metrics against the
+/// relevance sets provided by `relevant_of(user)` (sorted item ids; users
+/// with an empty set are skipped).
+template <typename RelevantFn>
+TopKMetrics RankAndScore(const Dataset& dataset,
+                         const Evaluator::ScoreFn& scorer,
+                         const std::vector<std::vector<int32_t>>& train_items,
+                         const std::vector<int>& ks, int max_k,
+                         const std::vector<int32_t>& users,
+                         const RelevantFn& relevant_of) {
+  TopKMetrics m;
+  m.ks = ks;
+  m.recall.assign(ks.size(), 0);
+  m.ndcg.assign(ks.size(), 0);
+  m.precision.assign(ks.size(), 0);
+  m.hit_rate.assign(ks.size(), 0);
+  m.map.assign(ks.size(), 0);
+  m.mrr.assign(ks.size(), 0);
+
+  std::vector<int32_t> batch_users;
+  for (int32_t u : users) {
+    if (u >= 0 && u < dataset.num_users && !relevant_of(u).empty()) {
+      batch_users.push_back(u);
+    }
+  }
+  if (batch_users.empty()) return m;
+
+  constexpr size_t kBatch = 128;
+  std::vector<int32_t> ranked;
+  std::vector<int32_t> order(dataset.num_items);
+  for (size_t begin = 0; begin < batch_users.size(); begin += kBatch) {
+    const size_t end = std::min(batch_users.size(), begin + kBatch);
+    const std::vector<int32_t> chunk(batch_users.begin() + begin,
+                                     batch_users.begin() + end);
+    Matrix scores = scorer(chunk);
+    GA_CHECK_EQ(scores.rows(), static_cast<int64_t>(chunk.size()));
+    GA_CHECK_EQ(scores.cols(), dataset.num_items);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const int32_t u = chunk[i];
+      float* row = scores.row(static_cast<int64_t>(i));
+      for (int32_t v : train_items[u]) {
+        row[v] = -std::numeric_limits<float>::infinity();
+      }
+      std::iota(order.begin(), order.end(), 0);
+      const int depth = std::min<int>(max_k, static_cast<int>(order.size()));
+      std::partial_sort(order.begin(), order.begin() + depth, order.end(),
+                        [row](int32_t a, int32_t b) {
+                          return row[a] != row[b] ? row[a] > row[b] : a < b;
+                        });
+      ranked.assign(order.begin(), order.begin() + depth);
+      AccumulateUserMetrics(ranked, relevant_of(u), ks, &m.recall, &m.ndcg,
+                            &m.precision, &m.hit_rate, &m.map, &m.mrr);
+    }
+  }
+  m.num_users = static_cast<int>(batch_users.size());
+  const double inv = 1.0 / m.num_users;
+  for (size_t ki = 0; ki < ks.size(); ++ki) {
+    m.recall[ki] *= inv;
+    m.ndcg[ki] *= inv;
+    m.precision[ki] *= inv;
+    m.hit_rate[ki] *= inv;
+    m.map[ki] *= inv;
+    m.mrr[ki] *= inv;
+  }
+  return m;
+}
+
+}  // namespace
+
+TopKMetrics Evaluator::EvaluateUsers(const ScoreFn& scorer,
+                                     const std::vector<int32_t>& users) const {
+  return RankAndScore(
+      *dataset_, scorer, train_items_, ks_, max_k_, users,
+      [this](int32_t u) -> const std::vector<int32_t>& {
+        return test_items_[u];
+      });
+}
+
+TopKMetrics Evaluator::EvaluateItemGroup(
+    const ScoreFn& scorer, const std::vector<int32_t>& item_group) const {
+  GA_CHECK(std::is_sorted(item_group.begin(), item_group.end()));
+  // Precompute each user's test items restricted to the group.
+  std::vector<std::vector<int32_t>> restricted(dataset_->num_users);
+  for (int32_t u : evaluable_users_) {
+    std::set_intersection(test_items_[u].begin(), test_items_[u].end(),
+                          item_group.begin(), item_group.end(),
+                          std::back_inserter(restricted[u]));
+  }
+  return RankAndScore(*dataset_, scorer, train_items_, ks_, max_k_,
+                      evaluable_users_,
+                      [&restricted](int32_t u) -> const std::vector<int32_t>& {
+                        return restricted[u];
+                      });
+}
+
+}  // namespace graphaug

@@ -1,0 +1,57 @@
+#ifndef GRAPHAUG_EVAL_EVALUATOR_H_
+#define GRAPHAUG_EVAL_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "tensor/matrix.h"
+
+namespace graphaug {
+
+/// Full-ranking top-K evaluator. For each evaluated user the model scores
+/// every item, training interactions are masked out, and the top-max(K)
+/// ranking is compared against the held-out test items — the protocol of
+/// the paper's Table II.
+class Evaluator {
+ public:
+  /// `scorer(users)` must return a (|users| x num_items) score matrix.
+  using ScoreFn = std::function<Matrix(const std::vector<int32_t>&)>;
+
+  /// The dataset must outlive the evaluator.
+  Evaluator(const Dataset* dataset, std::vector<int> ks = {20, 40});
+
+  /// Evaluates every user that has at least one test interaction.
+  TopKMetrics Evaluate(const ScoreFn& scorer) const;
+
+  /// Evaluates only the given users (skipping those without test items);
+  /// used by the degree-group study (Table V).
+  TopKMetrics EvaluateUsers(const ScoreFn& scorer,
+                            const std::vector<int32_t>& users) const;
+
+  /// Item-side group evaluation (the item half of Table V): relevance is
+  /// restricted to test items inside `item_group` (sorted ids); users
+  /// whose restricted test set is empty are skipped. The candidate
+  /// ranking still spans all items, so the metric reflects how well the
+  /// group's items surface against full competition.
+  TopKMetrics EvaluateItemGroup(const ScoreFn& scorer,
+                                const std::vector<int32_t>& item_group) const;
+
+  /// Users that have at least one test interaction.
+  const std::vector<int32_t>& evaluable_users() const {
+    return evaluable_users_;
+  }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<int> ks_;
+  int max_k_ = 0;
+  std::vector<std::vector<int32_t>> test_items_;   // per user, sorted
+  std::vector<std::vector<int32_t>> train_items_;  // per user, sorted
+  std::vector<int32_t> evaluable_users_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_EVAL_EVALUATOR_H_

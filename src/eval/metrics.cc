@@ -1,0 +1,68 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace graphaug {
+namespace {
+
+double FindAt(const std::vector<int>& ks, const std::vector<double>& vals,
+              int k) {
+  for (size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i] == k) return vals[i];
+  }
+  GA_CHECK(false) << "metric cutoff K=" << k << " was not evaluated";
+  return 0;
+}
+
+}  // namespace
+
+double TopKMetrics::RecallAt(int k) const { return FindAt(ks, recall, k); }
+double TopKMetrics::NdcgAt(int k) const { return FindAt(ks, ndcg, k); }
+double TopKMetrics::PrecisionAt(int k) const {
+  return FindAt(ks, precision, k);
+}
+double TopKMetrics::HitRateAt(int k) const { return FindAt(ks, hit_rate, k); }
+double TopKMetrics::MapAt(int k) const { return FindAt(ks, map, k); }
+double TopKMetrics::MrrAt(int k) const { return FindAt(ks, mrr, k); }
+
+void AccumulateUserMetrics(const std::vector<int32_t>& ranked,
+                           const std::vector<int32_t>& relevant,
+                           const std::vector<int>& ks,
+                           std::vector<double>* recall,
+                           std::vector<double>* ndcg,
+                           std::vector<double>* precision,
+                           std::vector<double>* hit_rate,
+                           std::vector<double>* map,
+                           std::vector<double>* mrr) {
+  GA_CHECK(!relevant.empty());
+  for (size_t ki = 0; ki < ks.size(); ++ki) {
+    const int k = ks[ki];
+    const int depth = std::min<int>(k, static_cast<int>(ranked.size()));
+    int hits = 0;
+    double dcg = 0;
+    double ap = 0;
+    double rr = 0;
+    for (int r = 0; r < depth; ++r) {
+      if (std::binary_search(relevant.begin(), relevant.end(), ranked[r])) {
+        ++hits;
+        dcg += 1.0 / std::log2(r + 2.0);
+        ap += static_cast<double>(hits) / (r + 1);
+        if (rr == 0) rr = 1.0 / (r + 1);
+      }
+    }
+    double idcg = 0;
+    const int ideal = std::min<int>(k, static_cast<int>(relevant.size()));
+    for (int r = 0; r < ideal; ++r) idcg += 1.0 / std::log2(r + 2.0);
+    (*recall)[ki] += static_cast<double>(hits) / relevant.size();
+    (*ndcg)[ki] += idcg > 0 ? dcg / idcg : 0.0;
+    (*precision)[ki] += static_cast<double>(hits) / k;
+    (*hit_rate)[ki] += hits > 0 ? 1.0 : 0.0;
+    if (map != nullptr) (*map)[ki] += ideal > 0 ? ap / ideal : 0.0;
+    if (mrr != nullptr) (*mrr)[ki] += rr;
+  }
+}
+
+}  // namespace graphaug

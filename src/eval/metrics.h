@@ -1,0 +1,53 @@
+#ifndef GRAPHAUG_EVAL_METRICS_H_
+#define GRAPHAUG_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace graphaug {
+
+/// Top-K ranking metrics averaged over evaluated users. The `ks` vector
+/// defines which cutoffs the parallel arrays refer to (the paper reports
+/// K = 20 and K = 40).
+struct TopKMetrics {
+  std::vector<int> ks;
+  std::vector<double> recall;
+  std::vector<double> ndcg;
+  std::vector<double> precision;
+  std::vector<double> hit_rate;
+  std::vector<double> map;  ///< mean average precision @K
+  std::vector<double> mrr;  ///< mean reciprocal rank @K
+  int num_users = 0;
+
+  double RecallAt(int k) const;
+  double NdcgAt(int k) const;
+  double PrecisionAt(int k) const;
+  double HitRateAt(int k) const;
+  double MapAt(int k) const;
+  double MrrAt(int k) const;
+};
+
+/// Per-user metric computation: `ranked` is the model's top-max(ks) item
+/// ranking (best first), `relevant` the user's sorted test items. Results
+/// are *accumulated* into the parallel arrays (caller divides by user
+/// count). Standard definitions:
+///   Recall@K = |topK ∩ rel| / |rel|
+///   NDCG@K   = DCG@K / IDCG@K, DCG gain 1/log2(rank+2)
+///   Prec@K   = |topK ∩ rel| / K
+///   Hit@K    = 1 if any relevant item in topK
+///   AP@K     = (1/min(K,|rel|)) Σ_hits Prec@rank(hit)
+///   RR@K     = 1 / rank of the first relevant item (0 if none in topK)
+/// `map` and `mrr` may be null when not needed.
+void AccumulateUserMetrics(const std::vector<int32_t>& ranked,
+                           const std::vector<int32_t>& relevant,
+                           const std::vector<int>& ks,
+                           std::vector<double>* recall,
+                           std::vector<double>* ndcg,
+                           std::vector<double>* precision,
+                           std::vector<double>* hit_rate,
+                           std::vector<double>* map = nullptr,
+                           std::vector<double>* mrr = nullptr);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_EVAL_METRICS_H_

@@ -1,0 +1,101 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace graphaug {
+namespace {
+
+double Mean(const std::vector<double>& x) {
+  double s = 0;
+  for (double v : x) s += v;
+  return s / x.size();
+}
+
+double Variance(const std::vector<double>& x, double mean) {
+  GA_CHECK_GE(x.size(), 2u);
+  double s = 0;
+  for (double v : x) s += (v - mean) * (v - mean);
+  return s / (x.size() - 1);
+}
+
+/// Continued-fraction evaluation for the incomplete beta (Lentz's method,
+/// Numerical Recipes style).
+double BetaCf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0) return 0;
+  if (x >= 1) return 1;
+  const double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(ln_beta + a * std::log(x) +
+                                b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaCf(a, b, x) / a;
+  }
+  return 1.0 - front * BetaCf(b, a, 1.0 - x) / b;
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  GA_CHECK_GE(a.size(), 2u);
+  GA_CHECK_GE(b.size(), 2u);
+  const double ma = Mean(a), mb = Mean(b);
+  const double va = Variance(a, ma), vb = Variance(b, mb);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double se2 = va / na + vb / nb;
+  TTestResult res;
+  if (se2 <= 0) {
+    res.t_statistic = ma == mb ? 0.0 : (ma > mb ? 1e9 : -1e9);
+    res.degrees_of_freedom = na + nb - 2;
+    res.p_value = ma == mb ? 1.0 : 0.0;
+    return res;
+  }
+  res.t_statistic = (ma - mb) / std::sqrt(se2);
+  res.degrees_of_freedom =
+      se2 * se2 / ((va / na) * (va / na) / (na - 1) +
+                   (vb / nb) * (vb / nb) / (nb - 1));
+  // Two-sided p-value via the Student-t CDF expressed with the incomplete
+  // beta function: P(|T| > t) = I_{v/(v+t^2)}(v/2, 1/2).
+  const double v = res.degrees_of_freedom;
+  const double t2 = res.t_statistic * res.t_statistic;
+  res.p_value = IncompleteBeta(v / 2.0, 0.5, v / (v + t2));
+  return res;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,26 @@
+#ifndef GRAPHAUG_EVAL_SIGNIFICANCE_H_
+#define GRAPHAUG_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+namespace graphaug {
+
+/// Welch's two-sample t-test result for the significance row of Table II.
+struct TTestResult {
+  double t_statistic = 0;
+  double degrees_of_freedom = 0;
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// Welch's unequal-variance t-test between two samples of metric values
+/// (e.g. Recall@20 across seeds for GraphAug vs. the best baseline).
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Regularized incomplete beta function (used for the Student-t CDF);
+/// exposed for testing.
+double IncompleteBeta(double a, double b, double x);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,30 @@
+#ifndef GRAPHAUG_GRAPH_CORRUPTION_H_
+#define GRAPHAUG_GRAPH_CORRUPTION_H_
+
+#include "common/rng.h"
+#include "graph/bipartite_graph.h"
+
+namespace graphaug {
+
+/// Structural-noise and augmentation operators on interaction graphs.
+/// `AddRandomEdges` implements the fake-edge corruption protocol of the
+/// paper's robustness study (Fig. 3); `DropEdges` is the stochastic
+/// edge-dropout augmentation used by SGL-style contrastive baselines.
+
+/// Returns a graph with ratio*|E| uniformly random non-observed user-item
+/// edges injected.
+BipartiteGraph AddRandomEdges(const BipartiteGraph& g, double ratio, Rng* rng);
+
+/// Returns a graph with each edge independently dropped with probability
+/// `drop_prob`. Users/items left isolated keep their self-loop in the
+/// normalized adjacency, so encoders still produce embeddings for them.
+BipartiteGraph DropEdges(const BipartiteGraph& g, double drop_prob, Rng* rng);
+
+/// Random-walk based subgraph: keeps edges reachable within `hops` steps
+/// from `num_seeds` random seed users (SGL's RW augmentation variant).
+BipartiteGraph RandomWalkSubgraph(const BipartiteGraph& g, int num_seeds,
+                                  int hops, Rng* rng);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_GRAPH_CORRUPTION_H_

@@ -1,0 +1,116 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+namespace graphaug {
+
+CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
+                             std::vector<CooEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  // Merge duplicates.
+  std::vector<CooEntry> merged;
+  merged.reserve(entries.size());
+  for (const CooEntry& e : entries) {
+    GA_CHECK(e.row >= 0 && e.row < rows && e.col >= 0 && e.col < cols)
+        << "entry (" << e.row << "," << e.col << ") out of bounds";
+    if (!merged.empty() && merged.back().row == e.row &&
+        merged.back().col == e.col) {
+      merged.back().value += e.value;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.resize(merged.size());
+  m.values_.resize(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    m.row_ptr_[merged[i].row + 1]++;
+    m.col_idx_[i] = merged[i].col;
+    m.values_[i] = merged[i].value;
+  }
+  for (int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int64_t n) {
+  std::vector<CooEntry> entries;
+  entries.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    entries.push_back({static_cast<int32_t>(i), static_cast<int32_t>(i), 1.f});
+  }
+  return FromCoo(n, n, std::move(entries));
+}
+
+CsrMatrix CsrMatrix::WithValues(std::vector<float> values) const {
+  GA_CHECK_EQ(static_cast<int64_t>(values.size()), nnz());
+  CsrMatrix m = *this;
+  m.values_ = std::move(values);
+  return m;
+}
+
+void CsrMatrix::Spmm(const Matrix& dense, Matrix* out, bool accumulate) const {
+  GA_CHECK_EQ(dense.rows(), cols_);
+  if (!accumulate || out->rows() != rows_ || out->cols() != dense.cols()) {
+    *out = Matrix(rows_, dense.cols());
+  }
+  const int64_t d = dense.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* orow = out->row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      const float* drow = dense.row(col_idx_[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+}
+
+void CsrMatrix::SpmmT(const Matrix& dense, Matrix* out, bool accumulate) const {
+  GA_CHECK_EQ(dense.rows(), rows_);
+  if (!accumulate || out->rows() != cols_ || out->cols() != dense.cols()) {
+    *out = Matrix(cols_, dense.cols());
+  }
+  const int64_t d = dense.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* drow = dense.row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float v = values_[k];
+      float* orow = out->row(col_idx_[k]);
+      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(nnz());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      entries.push_back({col_idx_[k], static_cast<int32_t>(r), values_[k]});
+    }
+  }
+  return FromCoo(cols_, rows_, std::move(entries));
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.at(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> CsrMatrix::RowDegrees() const {
+  std::vector<int64_t> deg(rows_);
+  for (int64_t r = 0; r < rows_; ++r) deg[r] = row_ptr_[r + 1] - row_ptr_[r];
+  return deg;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,71 @@
+#ifndef GRAPHAUG_GRAPH_CSR_H_
+#define GRAPHAUG_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace graphaug {
+
+/// One nonzero of a sparse matrix in coordinate form.
+struct CooEntry {
+  int32_t row = 0;
+  int32_t col = 0;
+  float value = 0.f;
+};
+
+/// Compressed-sparse-row float matrix. Immutable after construction; the
+/// value array may be swapped out (see WithValues) which is how sampled
+/// edge weights are injected without rebuilding the pattern.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO entries; duplicates are summed. O(nnz log nnz).
+  static CsrMatrix FromCoo(int64_t rows, int64_t cols,
+                           std::vector<CooEntry> entries);
+
+  /// Identity matrix of size n.
+  static CsrMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>* mutable_values() { return &values_; }
+
+  /// Returns a copy of this matrix with the same pattern but new values
+  /// (size must equal nnz()).
+  CsrMatrix WithValues(std::vector<float> values) const;
+
+  /// Sparse-dense product: out = this * dense. dense.rows() must equal
+  /// cols(). If `accumulate` is false, out is resized/zeroed first.
+  void Spmm(const Matrix& dense, Matrix* out, bool accumulate = false) const;
+
+  /// Transposed sparse-dense product: out = this^T * dense.
+  void SpmmT(const Matrix& dense, Matrix* out, bool accumulate = false) const;
+
+  /// Transposed copy (pattern + values).
+  CsrMatrix Transpose() const;
+
+  /// Densifies (test/debug helper; use only for small matrices).
+  Matrix ToDense() const;
+
+  /// Per-row nonzero count.
+  std::vector<int64_t> RowDegrees() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_;   // size rows_+1
+  std::vector<int32_t> col_idx_;   // size nnz
+  std::vector<float> values_;      // size nnz
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_GRAPH_CSR_H_

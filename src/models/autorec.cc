@@ -1,0 +1,77 @@
+#include "models/autorec.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+AutoRec::AutoRec(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config),
+      encoder_(&store_, "autorec_enc", dataset->num_items,
+               std::max(8, config.dim), &rng_),
+      decoder_(&store_, "autorec_dec", std::max(8, config.dim),
+               dataset->num_items, &rng_) {}
+
+Matrix AutoRec::InteractionRows(const std::vector<int32_t>& users) const {
+  Matrix rows(static_cast<int64_t>(users.size()), dataset_->num_items);
+  for (size_t i = 0; i < users.size(); ++i) {
+    for (int32_t v : graph_.ItemsOf(users[i])) {
+      rows.at(static_cast<int64_t>(i), v) = 1.f;
+    }
+  }
+  return rows;
+}
+
+Var AutoRec::Reconstruct(Tape* tape, const std::vector<int32_t>& users) const {
+  Var input = ag::Constant(tape, InteractionRows(users));
+  Var hidden = ag::Sigmoid(encoder_.Forward(tape, input));
+  return decoder_.Forward(tape, hidden);
+}
+
+Var AutoRec::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  // Distinct users from the batch.
+  std::vector<int32_t> users = batch.users;
+  std::sort(users.begin(), users.end());
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  // Cap per-batch users: AutoRec touches J columns per user.
+  if (users.size() > 256) users.resize(256);
+
+  Matrix target = InteractionRows(users);
+  // Observed-entry mask plus a sampled subset of negatives (mask weight 1
+  // on observed, 0.2 on a random 10% of the rest) so the decoder learns to
+  // rank rather than reconstruct all-zeros.
+  Matrix mask(target.rows(), target.cols());
+  for (int64_t i = 0; i < target.size(); ++i) {
+    if (target[i] > 0.5f) {
+      mask[i] = 1.f;
+    } else if (rng_.Bernoulli(0.1)) {
+      mask[i] = 0.2f;
+    }
+  }
+  Var recon = Reconstruct(tape, users);
+  Var diff = ag::Sub(recon, ag::Constant(tape, std::move(target)));
+  Var masked = ag::Mul(ag::Square(diff), ag::Constant(tape, std::move(mask)));
+  return ag::MeanAll(masked);
+}
+
+void AutoRec::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  // Hidden codes act as user embeddings; decoder columns as item
+  // embeddings (only used for MAD-style diagnostics — ranking goes through
+  // the overridden ScoreUsers).
+  std::vector<int32_t> all_users(dataset_->num_users);
+  for (int32_t u = 0; u < dataset_->num_users; ++u) all_users[u] = u;
+  Tape tape;
+  Var input = ag::Constant(&tape, InteractionRows(all_users));
+  Var hidden = ag::Sigmoid(encoder_.Forward(&tape, input));
+  *user_emb = hidden.value();
+  *item_emb = Transpose(decoder_.weight()->value);
+}
+
+Matrix AutoRec::ScoreUsers(const std::vector<int32_t>& users) const {
+  Tape tape;
+  Var recon = Reconstruct(&tape, users);
+  return recon.value();
+}
+
+}  // namespace graphaug

@@ -1,0 +1,37 @@
+#ifndef GRAPHAUG_MODELS_AUTOREC_H_
+#define GRAPHAUG_MODELS_AUTOREC_H_
+
+#include "models/recommender.h"
+#include "nn/layers.h"
+
+namespace graphaug {
+
+/// AutoRec (Sedhain et al., 2015), user-based variant: an autoencoder
+/// reconstructs each user's binary interaction row; predictions are the
+/// reconstructed scores. Trained with masked reconstruction loss over
+/// observed entries plus sampled negatives.
+///   r̂_u = W₂ · g(W₁ r_u + b₁) + b₂
+class AutoRec : public Recommender {
+ public:
+  AutoRec(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "AutoR"; }
+  Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  /// Builds the dense interaction rows for the given users.
+  Matrix InteractionRows(const std::vector<int32_t>& users) const;
+  /// Reconstructs interaction rows on a tape.
+  Var Reconstruct(Tape* tape, const std::vector<int32_t>& users) const;
+
+  Linear encoder_;
+  Linear decoder_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_AUTOREC_H_

@@ -1,0 +1,282 @@
+#include "models/contrastive_ssl.h"
+
+#include <numeric>
+
+#include "graph/corruption.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+/// Mixed user+item node batch for contrastive objectives.
+std::vector<int32_t> ContrastNodes(const TripletSampler& sampler,
+                                   const BipartiteGraph& graph, int per_side,
+                                   Rng* rng) {
+  std::vector<int32_t> nodes = sampler.SampleUsers(per_side, rng);
+  std::vector<int32_t> items = sampler.SampleItems(per_side, rng);
+  for (int32_t v : items) nodes.push_back(v + graph.num_users());
+  return nodes;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- SGL
+
+Sgl::Sgl(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+}
+
+void Sgl::OnEpochBegin() {
+  view_a_ = DropEdges(graph_, config_.dropout > 0 ? 0.2 : 0.1, &rng_);
+  view_b_ = DropEdges(graph_, config_.dropout > 0 ? 0.2 : 0.1, &rng_);
+  adj_a_ = view_a_.BuildNormalizedAdjacency(0.f);
+  adj_b_ = view_b_.BuildNormalizedAdjacency(0.f);
+}
+
+Var Sgl::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var e = ag::Leaf(tape, embeddings_);
+  Var h = LightGcnPropagate(tape, &adj_.matrix, e, config_.num_layers);
+  Var u = ag::GatherRows(h, batch.users);
+  Var p = ag::GatherRows(h, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  Var ha = LightGcnPropagate(tape, &adj_a_.matrix, e, config_.num_layers);
+  Var hb = LightGcnPropagate(tape, &adj_b_.matrix, e, config_.num_layers);
+  std::vector<int32_t> nodes =
+      ContrastNodes(sampler_, graph_, config_.contrast_batch, &rng_);
+  Var ssl = ag::InfoNceLoss(ag::GatherRows(ha, nodes),
+                            ag::GatherRows(hb, nodes), config_.temperature);
+  return ag::Add(loss, ag::Scale(ssl, config_.ssl_weight));
+}
+
+void Sgl::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  Var e = ag::Leaf(&tape, embeddings_);
+  Var h = LightGcnPropagate(&tape, &adj_.matrix, e, config_.num_layers);
+  *user_emb = SliceRows(h.value(), 0, graph_.num_users());
+  *item_emb = SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+}
+
+// ------------------------------------------------------------------- SLRec
+
+SlRec::SlRec(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+}
+
+Var SlRec::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var e = ag::Leaf(tape, embeddings_);
+  Var h = LightGcnPropagate(tape, &adj_.matrix, e, config_.num_layers);
+  Var u = ag::GatherRows(h, batch.users);
+  Var p = ag::GatherRows(h, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  // Feature-level augmentation: two independent feature-dropout masks on
+  // the *input* embeddings, propagated through the same graph.
+  const float fmask = std::max(0.1f, config_.dropout);
+  Var ea = ag::Dropout(e, fmask, &rng_);
+  Var eb = ag::Dropout(e, fmask, &rng_);
+  Var ha = LightGcnPropagate(tape, &adj_.matrix, ea, config_.num_layers);
+  Var hb = LightGcnPropagate(tape, &adj_.matrix, eb, config_.num_layers);
+  std::vector<int32_t> nodes =
+      ContrastNodes(sampler_, graph_, config_.contrast_batch, &rng_);
+  Var ssl = ag::InfoNceLoss(ag::GatherRows(ha, nodes),
+                            ag::GatherRows(hb, nodes), config_.temperature);
+  return ag::Add(loss, ag::Scale(ssl, config_.ssl_weight));
+}
+
+void SlRec::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  Var e = ag::Leaf(&tape, embeddings_);
+  Var h = LightGcnPropagate(&tape, &adj_.matrix, e, config_.num_layers);
+  *user_emb = SliceRows(h.value(), 0, graph_.num_users());
+  *item_emb = SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+}
+
+// --------------------------------------------------------------------- NCL
+
+Ncl::Ncl(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+  // Prototype count scales with the user base but can never exceed the
+  // number of points handed to k-means (users or items).
+  num_clusters_ = std::max(4, std::min(32, dataset->num_users / 50));
+  num_clusters_ = std::min(
+      num_clusters_, std::min(dataset->num_users, dataset->num_items));
+  num_clusters_ = std::max(1, num_clusters_);
+}
+
+void Ncl::OnEpochBegin() {
+  // EM prototype refresh every 3 epochs on the *propagated* embeddings.
+  if (epoch_++ % 3 == 0) {
+    Tape tape;
+    Var e = ag::Leaf(&tape, embeddings_);
+    Var h = LightGcnPropagate(&tape, &adj_.matrix, e, config_.num_layers);
+    Matrix users = SliceRows(h.value(), 0, graph_.num_users());
+    Matrix items =
+        SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+    user_clusters_ = RunKMeans(users, num_clusters_, 8, &rng_);
+    item_clusters_ = RunKMeans(items, num_clusters_, 8, &rng_);
+  }
+}
+
+Var Ncl::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var e = ag::Leaf(tape, embeddings_);
+  std::vector<Var> layers =
+      LightGcnLayers(tape, &adj_.matrix, e, std::max(2, config_.num_layers));
+  Var h = layers[0];
+  for (size_t l = 1; l < layers.size(); ++l) h = ag::Add(h, layers[l]);
+  h = ag::Scale(h, 1.f / static_cast<float>(layers.size()));
+
+  Var u = ag::GatherRows(h, batch.users);
+  Var p = ag::GatherRows(h, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  // (a) Prototype contrast: node embedding vs. its assigned centroid,
+  // negatives are the *other centroids* (each centroid once — using other
+  // users' centroids would duplicate the positive among the negatives and
+  // destroy the objective).
+  std::vector<int32_t> users = sampler_.SampleUsers(config_.contrast_batch,
+                                                    &rng_);
+  std::vector<int32_t> own_centroid(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    own_centroid[i] = user_clusters_.assignment[users[i]];
+  }
+  Var z = ag::RowL2Normalize(ag::GatherRows(h, users));
+  Var centroids =
+      ag::RowL2Normalize(ag::Constant(tape, user_clusters_.centroids));
+  Var sims = ag::Scale(ag::MatMul(z, centroids, false, true),
+                       1.f / config_.temperature);  // batch x k
+  Var pos = ag::Scale(
+      ag::RowDot(z, ag::GatherRows(centroids, own_centroid)),
+      1.f / config_.temperature);
+  Var proto_loss = ag::MeanAll(ag::Sub(ag::LogSumExpRows(sims), pos));
+
+  // (b) Structural contrast: layer-0 vs layer-2 (even hop) embeddings.
+  std::vector<int32_t> nodes =
+      ContrastNodes(sampler_, graph_, config_.contrast_batch, &rng_);
+  Var struct_loss =
+      ag::InfoNceLoss(ag::GatherRows(layers[0], nodes),
+                      ag::GatherRows(layers[2 <= config_.num_layers ? 2 : 1],
+                                     nodes),
+                      config_.temperature);
+
+  Var ssl = ag::Add(proto_loss, struct_loss);
+  // NCL's auxiliary objectives need far smaller weights than view-level
+  // contrast (the original paper uses 1e-6-scale regs on summed losses):
+  // layer-0-vs-layer-2 and node-vs-centroid gradients are large because
+  // the paired views are far apart, so they are damped by 0.05 relative
+  // to the shared ssl_weight.
+  return ag::Add(loss, ag::Scale(ssl, 0.05f * config_.ssl_weight));
+}
+
+void Ncl::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  Var e = ag::Leaf(&tape, embeddings_);
+  Var h = LightGcnPropagate(&tape, &adj_.matrix, e, config_.num_layers);
+  *user_emb = SliceRows(h.value(), 0, graph_.num_users());
+  *item_emb = SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+}
+
+// -------------------------------------------------------------------- HCCF
+
+Hccf::Hccf(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+  num_hyperedges_ = std::max(8, config.dim / 2);
+  hyper_basis_ = store_.CreateNormal("hyper_basis", config.dim,
+                                     num_hyperedges_, &rng_);
+}
+
+std::pair<Var, Var> Hccf::EncodeBoth(Tape* tape) {
+  Var e = ag::Leaf(tape, embeddings_);
+  Var local = LightGcnPropagate(tape, &adj_.matrix, e, config_.num_layers);
+  // Global channel: node -> hyperedge -> node, through the learnable basis.
+  Var basis = ag::Leaf(tape, hyper_basis_);
+  Var hyper = ag::LeakyRelu(ag::MatMul(e, basis), config_.leaky_slope);
+  Var global = ag::MatMul(hyper, basis, false, true);
+  return {local, global};
+}
+
+Var Hccf::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  auto [local, global] = EncodeBoth(tape);
+  Var fused = ag::Scale(ag::Add(local, global), 0.5f);
+  Var u = ag::GatherRows(fused, batch.users);
+  Var p = ag::GatherRows(fused, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(fused, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  // Local-global embedding contrast per node.
+  std::vector<int32_t> nodes =
+      ContrastNodes(sampler_, graph_, config_.contrast_batch, &rng_);
+  Var ssl = ag::InfoNceLoss(ag::GatherRows(local, nodes),
+                            ag::GatherRows(global, nodes),
+                            config_.temperature);
+  return ag::Add(loss, ag::Scale(ssl, config_.ssl_weight));
+}
+
+void Hccf::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  auto [local, global] = EncodeBoth(&tape);
+  Var fused = ag::Scale(ag::Add(local, global), 0.5f);
+  *user_emb = SliceRows(fused.value(), 0, graph_.num_users());
+  *item_emb =
+      SliceRows(fused.value(), graph_.num_users(), graph_.num_items());
+}
+
+// --------------------------------------------------------------------- CGI
+
+Cgi::Cgi(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+  edge_logits_ = store_.Create("edge_logits", graph_.num_edges(), 1);
+  // Start slightly positive: most edges kept.
+  edge_logits_->value.Fill(1.0f);
+}
+
+Var Cgi::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var e = ag::Leaf(tape, embeddings_);
+  Var h = LightGcnPropagate(tape, &adj_.matrix, e, config_.num_layers);
+  Var u = ag::GatherRows(h, batch.users);
+  Var p = ag::GatherRows(h, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  // Learnable cleaned view: sigmoid edge retention weights.
+  Var keep = ag::Sigmoid(ag::Leaf(tape, edge_logits_));
+  Var hv = WeightedLightGcnPropagate(tape, &adj_, keep, e,
+                                     config_.num_layers);
+  std::vector<int32_t> nodes =
+      ContrastNodes(sampler_, graph_, config_.contrast_batch, &rng_);
+  Var ssl = ag::InfoNceLoss(ag::GatherRows(h, nodes),
+                            ag::GatherRows(hv, nodes), config_.temperature);
+  // Information regularization: push average retention down so the view is
+  // a compressed version of the graph.
+  Var sparsity = ag::MeanAll(keep);
+  loss = ag::Add(loss, ag::Scale(ssl, config_.ssl_weight));
+  return ag::Add(loss, ag::Scale(sparsity, 0.05f));
+}
+
+void Cgi::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  Var e = ag::Leaf(&tape, embeddings_);
+  Var h = LightGcnPropagate(&tape, &adj_.matrix, e, config_.num_layers);
+  *user_emb = SliceRows(h.value(), 0, graph_.num_users());
+  *item_emb = SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+}
+
+}  // namespace graphaug

@@ -1,0 +1,119 @@
+#ifndef GRAPHAUG_MODELS_CONTRASTIVE_SSL_H_
+#define GRAPHAUG_MODELS_CONTRASTIVE_SSL_H_
+
+#include "models/kmeans.h"
+#include "models/propagation.h"
+#include "models/recommender.h"
+
+namespace graphaug {
+
+/// SGL (Wu et al., 2021): LightGCN backbone with two stochastic
+/// structure-corrupted views (edge dropout, resampled each epoch) aligned
+/// by InfoNCE on users and items, jointly trained with BPR.
+class Sgl : public Recommender {
+ public:
+  Sgl(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "SGL"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+  void OnEpochBegin() override;
+
+ private:
+  NormalizedAdjacency adj_;
+  BipartiteGraph view_a_, view_b_;
+  NormalizedAdjacency adj_a_, adj_b_;
+  Parameter* embeddings_;
+};
+
+/// SLRec (Yao et al., 2021): contrastive SSL with *feature-level*
+/// corruption — two views of the same nodes are produced by independent
+/// embedding-feature dropout masks, aligned with InfoNCE.
+class SlRec : public Recommender {
+ public:
+  SlRec(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "SLRec"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  NormalizedAdjacency adj_;
+  Parameter* embeddings_;
+};
+
+/// NCL (Lin et al., 2022): LightGCN with neighborhood-enriched contrast —
+/// (a) prototype contrast against k-means cluster centroids refreshed by
+/// an EM step every few epochs, and (b) structural contrast between
+/// layer-0 and even-hop propagated embeddings.
+class Ncl : public Recommender {
+ public:
+  Ncl(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "NCL"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+  void OnEpochBegin() override;
+
+ private:
+  NormalizedAdjacency adj_;
+  Parameter* embeddings_;
+  int num_clusters_;
+  int epoch_ = 0;
+  KMeansResult user_clusters_;
+  KMeansResult item_clusters_;
+};
+
+/// HCCF (Xia et al., 2022): local GCN embeddings are contrasted with
+/// global embeddings produced through a learnable hyperedge basis
+/// (E → hyperedges → E), giving each node a global view.
+class Hccf : public Recommender {
+ public:
+  Hccf(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "HCCF"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  /// Returns {local, global} encodings of all nodes.
+  std::pair<Var, Var> EncodeBoth(Tape* tape);
+
+  NormalizedAdjacency adj_;
+  Parameter* embeddings_;
+  Parameter* hyper_basis_;  ///< d x num_hyperedges
+  int num_hyperedges_;
+};
+
+/// CGI (contrastive graph learning with learnable dropping): a learnable
+/// per-edge retention probability generates a cleaned view contrasted with
+/// the full graph; an information-regularization term pushes retention
+/// toward sparsity so the view compresses the structure. (Simplified
+/// information-bottleneck contrastive baseline.)
+class Cgi : public Recommender {
+ public:
+  Cgi(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "CGI"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  NormalizedAdjacency adj_;
+  Parameter* embeddings_;
+  Parameter* edge_logits_;  ///< one logit per interaction
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_CONTRASTIVE_SSL_H_

@@ -1,0 +1,50 @@
+#include "models/debias.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphaug {
+
+Matrix ItemPropensities(const BipartiteGraph& graph, double gamma,
+                        double clip_min) {
+  GA_CHECK_GE(gamma, 0.0);
+  GA_CHECK(clip_min > 0.0 && clip_min <= 1.0);
+  int64_t max_deg = 1;
+  for (int32_t v = 0; v < graph.num_items(); ++v) {
+    max_deg = std::max(max_deg, graph.ItemDegree(v));
+  }
+  Matrix rho(graph.num_items(), 1);
+  for (int32_t v = 0; v < graph.num_items(); ++v) {
+    const double rel =
+        static_cast<double>(graph.ItemDegree(v)) / static_cast<double>(max_deg);
+    rho[v] = static_cast<float>(std::max(clip_min, std::pow(rel, gamma)));
+  }
+  return rho;
+}
+
+Matrix BatchIpsWeights(const std::vector<int32_t>& pos_items,
+                       const Matrix& propensities) {
+  Matrix w(static_cast<int64_t>(pos_items.size()), 1);
+  double sum = 0;
+  for (size_t i = 0; i < pos_items.size(); ++i) {
+    GA_DCHECK(pos_items[i] >= 0 && pos_items[i] < propensities.rows());
+    w[static_cast<int64_t>(i)] = 1.f / propensities[pos_items[i]];
+    sum += w[static_cast<int64_t>(i)];
+  }
+  // Self-normalize to mean 1 so the loss scale matches unweighted BPR.
+  const float scale =
+      sum > 0 ? static_cast<float>(pos_items.size() / sum) : 1.f;
+  for (int64_t i = 0; i < w.size(); ++i) w[i] *= scale;
+  return w;
+}
+
+Var IpsBprLoss(Tape* tape, Var pos_scores, Var neg_scores,
+               const std::vector<int32_t>& pos_items,
+               const Matrix& propensities) {
+  Matrix w = BatchIpsWeights(pos_items, propensities);
+  Var losses = ag::Softplus(ag::Sub(neg_scores, pos_scores));
+  Var weighted = ag::Mul(losses, ag::Constant(tape, std::move(w)));
+  return ag::MeanAll(weighted);
+}
+
+}  // namespace graphaug

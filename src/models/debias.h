@@ -1,0 +1,38 @@
+#ifndef GRAPHAUG_MODELS_DEBIAS_H_
+#define GRAPHAUG_MODELS_DEBIAS_H_
+
+#include "autograd/ops.h"
+#include "data/sampler.h"
+#include "graph/bipartite_graph.h"
+
+namespace graphaug {
+
+/// Popularity-debiasing extension (the paper's §VI future work on
+/// *unbiased SSL*): inverse-propensity-scored training that reweights the
+/// BPR objective so popular items do not dominate the gradient signal.
+///
+/// Propensity model: observing an interaction with item v is assumed
+/// proportional to its popularity,
+///   ρ_v = max(clip, (deg_v / max_deg)^γ),
+/// the standard power-law propensity of Saito et al.'s unbiased
+/// recommender learning. γ controls the debiasing strength (0 = off).
+
+/// Per-item propensities as a (J x 1) matrix.
+Matrix ItemPropensities(const BipartiteGraph& graph, double gamma,
+                        double clip_min = 0.05);
+
+/// IPS-weighted BPR: Σ_i w_i softplus(s⁻_i − s⁺_i) / Σ_i w_i with
+/// w_i = 1/ρ(pos_item_i). `propensities` is the (J x 1) table from
+/// ItemPropensities; weights are treated as constants (no gradient).
+Var IpsBprLoss(Tape* tape, Var pos_scores, Var neg_scores,
+               const std::vector<int32_t>& pos_items,
+               const Matrix& propensities);
+
+/// Self-normalized IPS weights for a batch ((n x 1), mean 1). Exposed for
+/// models that want to reweight auxiliary losses the same way.
+Matrix BatchIpsWeights(const std::vector<int32_t>& pos_items,
+                       const Matrix& propensities);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_DEBIAS_H_

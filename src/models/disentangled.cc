@@ -1,0 +1,169 @@
+#include "models/disentangled.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/corruption.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+DisentangledRecommender::DisentangledRecommender(
+    const Dataset* dataset, const ModelConfig& config,
+    const DisentangledOptions& options, std::string display_name)
+    : Recommender(dataset, config),
+      options_(options),
+      display_name_(std::move(display_name)) {
+  GA_CHECK_EQ(config.dim % options.num_factors, 0)
+      << "embedding dim must divide evenly into factors";
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+}
+
+Matrix DisentangledRecommender::RoutingWeights(
+    const Matrix& emb, const std::vector<Edge>& edges) const {
+  const int k_factors = options_.num_factors;
+  const int64_t chunk = emb.cols() / k_factors;
+  const int32_t offset = graph_.num_users();
+  Matrix weights(static_cast<int64_t>(edges.size()), k_factors);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const float* hu = emb.row(edges[e].user);
+    const float* hv = emb.row(offset + edges[e].item);
+    float max_logit = -1e30f;
+    std::vector<float> logits(k_factors);
+    for (int k = 0; k < k_factors; ++k) {
+      double dot = 0, nu = 0, nv = 0;
+      for (int64_t c = k * chunk; c < (k + 1) * chunk; ++c) {
+        dot += static_cast<double>(hu[c]) * hv[c];
+        nu += static_cast<double>(hu[c]) * hu[c];
+        nv += static_cast<double>(hv[c]) * hv[c];
+      }
+      const double denom = std::sqrt(nu * nv) + 1e-12;
+      logits[k] = static_cast<float>(dot / denom);
+      max_logit = std::max(max_logit, logits[k]);
+    }
+    double z = 0;
+    for (int k = 0; k < k_factors; ++k) z += std::exp(logits[k] - max_logit);
+    for (int k = 0; k < k_factors; ++k) {
+      // Scale by K so the average routed edge weight stays ~1 and the
+      // propagation magnitude matches the plain normalized adjacency.
+      weights.at(static_cast<int64_t>(e), k) = static_cast<float>(
+          k_factors * std::exp(logits[k] - max_logit) / z);
+    }
+  }
+  return weights;
+}
+
+Var DisentangledRecommender::Encode(Tape* tape, const BipartiteGraph& graph,
+                                    const NormalizedAdjacency* adj) {
+  const int k_factors = options_.num_factors;
+  const int64_t chunk = config_.dim / k_factors;
+  Var h = ag::Leaf(tape, embeddings_);
+  Var sum = h;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    for (int it = 0; it < options_.routing_iterations; ++it) {
+      Matrix routing = RoutingWeights(h.value(), graph.edges());
+      Var next;  // assembled by concatenating factor chunks
+      for (int k = 0; k < k_factors; ++k) {
+        Matrix wk(routing.rows(), 1);
+        for (int64_t e = 0; e < routing.rows(); ++e) {
+          wk[e] = routing.at(e, k);
+        }
+        Var edge_w = ag::Constant(tape, std::move(wk));
+        Var hk = ag::SliceCols(h, k * chunk, chunk);
+        Var propagated = ag::EdgeWeightedSpmm(adj, edge_w, hk);
+        next = k == 0 ? propagated : ag::ConcatCols(next, propagated);
+      }
+      h = next;
+    }
+    if (options_.nonlinear) h = ag::LeakyRelu(h, config_.leaky_slope);
+    sum = ag::Add(sum, h);
+  }
+  return ag::Scale(sum, 1.f / static_cast<float>(config_.num_layers + 1));
+}
+
+void DisentangledRecommender::OnEpochBegin() {
+  if (options_.contrastive) {
+    view_graph_a_ = DropEdges(graph_, options_.view_dropout, &rng_);
+    view_graph_b_ = DropEdges(graph_, options_.view_dropout, &rng_);
+    view_adj_a_ = view_graph_a_.BuildNormalizedAdjacency(0.f);
+    view_adj_b_ = view_graph_b_.BuildNormalizedAdjacency(0.f);
+  }
+}
+
+Var DisentangledRecommender::BuildLoss(Tape* tape,
+                                       const TripletBatch& batch) {
+  Var all = Encode(tape, graph_, &adj_);
+  Var u = ag::GatherRows(all, batch.users);
+  Var p = ag::GatherRows(all, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(all, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  if (options_.contrastive) {
+    // Factor-wise InfoNCE between the two corrupted-view encodings
+    // (DGCL's discriminative factor objective).
+    Var va = Encode(tape, view_graph_a_, &view_adj_a_);
+    Var vb = Encode(tape, view_graph_b_, &view_adj_b_);
+    std::vector<int32_t> nodes = sampler_.SampleUsers(
+        config_.contrast_batch, &rng_);
+    std::vector<int32_t> item_nodes =
+        ToNodeIds(sampler_.SampleItems(config_.contrast_batch, &rng_));
+    nodes.insert(nodes.end(), item_nodes.begin(), item_nodes.end());
+    Var ba = ag::GatherRows(va, nodes);
+    Var bb = ag::GatherRows(vb, nodes);
+    const int64_t chunk = config_.dim / options_.num_factors;
+    Var ssl;
+    for (int k = 0; k < options_.num_factors; ++k) {
+      Var ca = ag::SliceCols(ba, k * chunk, chunk);
+      Var cb = ag::SliceCols(bb, k * chunk, chunk);
+      Var term = ag::InfoNceLoss(ca, cb, config_.temperature);
+      ssl = k == 0 ? term : ag::Add(ssl, term);
+    }
+    ssl = ag::Scale(ssl, 1.f / static_cast<float>(options_.num_factors));
+    loss = ag::Add(loss, ag::Scale(ssl, config_.ssl_weight));
+  }
+  return loss;
+}
+
+void DisentangledRecommender::ComputeEmbeddings(Matrix* user_emb,
+                                                Matrix* item_emb) {
+  Tape tape;
+  Var all = Encode(&tape, graph_, &adj_);
+  const Matrix& m = all.value();
+  *user_emb = SliceRows(m, 0, graph_.num_users());
+  *item_emb = SliceRows(m, graph_.num_users(), graph_.num_items());
+}
+
+std::unique_ptr<DisentangledRecommender> MakeDisenGcn(
+    const Dataset* dataset, const ModelConfig& config) {
+  DisentangledOptions opt;
+  opt.num_factors = 4;
+  opt.routing_iterations = 1;
+  opt.nonlinear = true;
+  return std::make_unique<DisentangledRecommender>(dataset, config, opt,
+                                                   "DisenGCN");
+}
+
+std::unique_ptr<DisentangledRecommender> MakeDgcf(const Dataset* dataset,
+                                                  const ModelConfig& config) {
+  DisentangledOptions opt;
+  opt.num_factors = 4;
+  opt.routing_iterations = 2;
+  opt.nonlinear = false;
+  return std::make_unique<DisentangledRecommender>(dataset, config, opt,
+                                                   "DGCF");
+}
+
+std::unique_ptr<DisentangledRecommender> MakeDgcl(const Dataset* dataset,
+                                                  const ModelConfig& config) {
+  DisentangledOptions opt;
+  opt.num_factors = 4;
+  opt.routing_iterations = 1;
+  opt.nonlinear = false;
+  opt.contrastive = true;
+  return std::make_unique<DisentangledRecommender>(dataset, config, opt,
+                                                   "DGCL");
+}
+
+}  // namespace graphaug

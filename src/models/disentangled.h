@@ -1,0 +1,71 @@
+#ifndef GRAPHAUG_MODELS_DISENTANGLED_H_
+#define GRAPHAUG_MODELS_DISENTANGLED_H_
+
+#include "models/propagation.h"
+#include "models/recommender.h"
+
+namespace graphaug {
+
+/// Disentangled graph CF family. The embedding space is split into K
+/// factor chunks; per-edge routing weights (softmax over factors of the
+/// chunk-wise cosine affinity) gate each factor's propagation, so
+/// different factors specialize to different interaction intents.
+/// Routing weights are computed from the current forward values
+/// (stop-gradient), the standard simplification of neighborhood routing.
+///
+/// Three baselines share this machinery:
+///  - DisenGCN (Ma et al.):  routing + nonlinearity, 1 routing iteration
+///  - DGCF (Wang et al.):    linear propagation, 2 routing iterations,
+///                           mean-of-layers output
+///  - DGCL (Li et al.):      DGCF-style encoder + factor-wise contrastive
+///                           objective between two edge-dropout views
+struct DisentangledOptions {
+  int num_factors = 4;
+  int routing_iterations = 1;
+  bool nonlinear = false;
+  bool contrastive = false;   ///< DGCL: factor-wise InfoNCE
+  float view_dropout = 0.2f;  ///< edge dropout for DGCL views
+};
+
+class DisentangledRecommender : public Recommender {
+ public:
+  DisentangledRecommender(const Dataset* dataset, const ModelConfig& config,
+                          const DisentangledOptions& options,
+                          std::string display_name);
+
+  std::string name() const override { return display_name_; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+  void OnEpochBegin() override;
+
+ private:
+  /// One disentangled encoding pass over the given adjacency.
+  Var Encode(Tape* tape, const BipartiteGraph& graph,
+             const NormalizedAdjacency* adj);
+
+  /// E x K routing weights from current embeddings (stop-grad).
+  Matrix RoutingWeights(const Matrix& embeddings,
+                        const std::vector<Edge>& edges) const;
+
+  DisentangledOptions options_;
+  std::string display_name_;
+  NormalizedAdjacency adj_;
+  Parameter* embeddings_;
+  // DGCL's per-epoch contrastive views.
+  BipartiteGraph view_graph_a_, view_graph_b_;
+  NormalizedAdjacency view_adj_a_, view_adj_b_;
+};
+
+/// Factory helpers with the paper baselines' settings.
+std::unique_ptr<DisentangledRecommender> MakeDisenGcn(
+    const Dataset* dataset, const ModelConfig& config);
+std::unique_ptr<DisentangledRecommender> MakeDgcf(const Dataset* dataset,
+                                                  const ModelConfig& config);
+std::unique_ptr<DisentangledRecommender> MakeDgcl(const Dataset* dataset,
+                                                  const ModelConfig& config);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_DISENTANGLED_H_

@@ -1,0 +1,165 @@
+#include "models/generative_ssl.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+/// Builds a row-normalized user-user co-interaction graph keeping the
+/// `top_k` strongest neighbors per user.
+CsrMatrix BuildUserHypergraph(const BipartiteGraph& g, int top_k) {
+  std::vector<CooEntry> entries;
+  std::unordered_map<int32_t, int> counts;
+  for (int32_t u = 0; u < g.num_users(); ++u) {
+    counts.clear();
+    for (int32_t v : g.ItemsOf(u)) {
+      for (int32_t u2 : g.UsersOf(v)) {
+        if (u2 != u) counts[u2]++;
+      }
+    }
+    // Keep strongest co-interactors.
+    std::vector<std::pair<int, int32_t>> ranked;
+    ranked.reserve(counts.size());
+    for (const auto& [u2, c] : counts) ranked.push_back({c, u2});
+    const int keep = std::min<int>(top_k, static_cast<int>(ranked.size()));
+    std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                      std::greater<>());
+    double total = 0;
+    for (int i = 0; i < keep; ++i) total += ranked[i].first;
+    for (int i = 0; i < keep; ++i) {
+      entries.push_back({u, ranked[i].second,
+                         static_cast<float>(ranked[i].first / total)});
+    }
+  }
+  return CsrMatrix::FromCoo(g.num_users(), g.num_users(), std::move(entries));
+}
+
+}  // namespace
+
+Mhcn::Mhcn(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  adj_ = graph_.BuildNormalizedAdjacency(0.f);
+  user_hypergraph_ = BuildUserHypergraph(graph_, /*top_k=*/10);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+}
+
+Var Mhcn::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var e = ag::Leaf(tape, embeddings_);
+  Var h = LightGcnPropagate(tape, &adj_.matrix, e, config_.num_layers);
+
+  // Hypergraph channel over users: g_u = H · h_users.
+  std::vector<int32_t> all_users(graph_.num_users());
+  std::iota(all_users.begin(), all_users.end(), 0);
+  Var h_users = ag::GatherRows(h, all_users);
+  Var g_users = ag::Spmm(&user_hypergraph_, h_users);
+
+  // Recommendation scores mix both channels for users.
+  Var u_mixed_all = ag::Scale(ag::Add(h_users, g_users), 0.5f);
+  Var u = ag::GatherRows(u_mixed_all, batch.users);
+  Var p = ag::GatherRows(h, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  // DGI-style MI maximization: readout s = mean(g_users); positive pairs
+  // (h_u, s), negatives are row-shuffled users.
+  std::vector<int32_t> batch_users =
+      sampler_.SampleUsers(config_.contrast_batch, &rng_);
+  std::vector<int32_t> shuffled = batch_users;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng_.UniformInt(i)]);
+  }
+  Var hb = ag::GatherRows(g_users, batch_users);
+  Var hneg = ag::GatherRows(g_users, shuffled);
+  // Readout as constant direction (stop-grad keeps the objective stable).
+  Matrix readout(1, config_.dim);
+  const Matrix& gu = g_users.value();
+  for (int64_t r = 0; r < gu.rows(); ++r) {
+    for (int64_t c = 0; c < gu.cols(); ++c) readout[c] += gu.at(r, c);
+  }
+  for (int64_t c = 0; c < readout.size(); ++c) {
+    readout[c] /= static_cast<float>(gu.rows());
+  }
+  Matrix readout_rows(hb.rows(), config_.dim);
+  for (int64_t r = 0; r < readout_rows.rows(); ++r) {
+    std::copy(readout.data(), readout.data() + config_.dim,
+              readout_rows.row(r));
+  }
+  Var s = ag::Constant(tape, std::move(readout_rows));
+  Var pos_mi = ag::MeanAll(ag::Softplus(ag::Neg(ag::RowDot(hb, s))));
+  Var neg_mi = ag::MeanAll(ag::Softplus(ag::RowDot(hneg, s)));
+  Var ssl = ag::Add(pos_mi, neg_mi);
+  return ag::Add(loss, ag::Scale(ssl, config_.ssl_weight));
+}
+
+void Mhcn::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  Var e = ag::Leaf(&tape, embeddings_);
+  Var h = LightGcnPropagate(&tape, &adj_.matrix, e, config_.num_layers);
+  std::vector<int32_t> all_users(graph_.num_users());
+  std::iota(all_users.begin(), all_users.end(), 0);
+  Var h_users = ag::GatherRows(h, all_users);
+  Var g_users = ag::Spmm(&user_hypergraph_, h_users);
+  Var u_mixed = ag::Scale(ag::Add(h_users, g_users), 0.5f);
+  *user_emb = u_mixed.value();
+  *item_emb = SliceRows(h.value(), graph_.num_users(), graph_.num_items());
+}
+
+Stgcn::Stgcn(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config),
+      enc_(&store_, "stgcn_enc", config.dim, config.dim, &rng_),
+      decoder_(&store_, "stgcn_dec",
+               {config.dim, config.dim, config.dim}, &rng_,
+               Activation::kLeakyRelu) {
+  adj_ = graph_.BuildNormalizedAdjacency(1.f);
+  embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
+                                    config.dim, &rng_);
+}
+
+Var Stgcn::Encode(Tape* tape, bool train_mode) {
+  Var e = ag::Leaf(tape, embeddings_);
+  Var h = e;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    h = ag::LeakyRelu(enc_.Forward(tape, ag::Spmm(&adj_.matrix, h)),
+                      config_.leaky_slope);
+    if (train_mode && config_.dropout > 0) {
+      h = ag::Dropout(h, config_.dropout, &rng_);
+    }
+  }
+  return h;
+}
+
+Var Stgcn::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var h = Encode(tape, /*train_mode=*/true);
+  Var u = ag::GatherRows(h, batch.users);
+  Var p = ag::GatherRows(h, ToNodeIds(batch.pos_items));
+  Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
+  Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+
+  // Reconstruction pretext: decode propagated embeddings back to the
+  // (stop-grad) initial id embeddings on a sampled node batch.
+  std::vector<int32_t> nodes = sampler_.SampleUsers(config_.contrast_batch,
+                                                    &rng_);
+  std::vector<int32_t> item_nodes =
+      ToNodeIds(sampler_.SampleItems(config_.contrast_batch, &rng_));
+  nodes.insert(nodes.end(), item_nodes.begin(), item_nodes.end());
+  Var decoded = decoder_.Forward(tape, ag::GatherRows(h, nodes));
+  Matrix target = GatherRows(embeddings_->value, nodes);
+  Var recon = ag::MeanAll(
+      ag::Square(ag::Sub(decoded, ag::Constant(tape, std::move(target)))));
+  return ag::Add(loss, ag::Scale(recon, config_.ssl_weight));
+}
+
+void Stgcn::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  Tape tape;
+  Var h = Encode(&tape, /*train_mode=*/false);
+  const Matrix& m = h.value();
+  *user_emb = SliceRows(m, 0, graph_.num_users());
+  *item_emb = SliceRows(m, graph_.num_users(), graph_.num_items());
+}
+
+}  // namespace graphaug

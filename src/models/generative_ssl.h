@@ -1,0 +1,57 @@
+#ifndef GRAPHAUG_MODELS_GENERATIVE_SSL_H_
+#define GRAPHAUG_MODELS_GENERATIVE_SSL_H_
+
+#include "models/propagation.h"
+#include "models/recommender.h"
+#include "nn/layers.h"
+
+namespace graphaug {
+
+/// MHCN (Yu et al., 2021): hypergraph-convolutional CF with a DGI-style
+/// generative self-supervision channel. The user-user hypergraph is
+/// derived from co-interaction (row-normalized A·Aᵀ restricted to the
+/// strongest neighbors); the auxiliary task maximizes mutual information
+/// between user embeddings and the hypergraph readout against shuffled
+/// negatives.
+class Mhcn : public Recommender {
+ public:
+  Mhcn(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "MHCN"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  NormalizedAdjacency adj_;
+  CsrMatrix user_hypergraph_;  ///< user-user co-interaction graph
+  Parameter* embeddings_;
+};
+
+/// STGCN / STAR-GCN (Zhang et al., 2019): stacked GCN encoder with a
+/// reconstruction pretext task — a decoder MLP must regenerate the initial
+/// id embeddings from the propagated ones (masked-embedding
+/// reconstruction), regularizing the encoder.
+class Stgcn : public Recommender {
+ public:
+  Stgcn(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "STGCN"; }
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  Var Encode(Tape* tape, bool train_mode);
+
+  NormalizedAdjacency adj_;
+  Parameter* embeddings_;
+  Linear enc_;
+  Mlp decoder_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_GENERATIVE_SSL_H_

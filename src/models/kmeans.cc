@@ -1,0 +1,102 @@
+#include "models/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace graphaug {
+namespace {
+
+double SquaredDistance(const Matrix& points, int64_t row,
+                       const Matrix& centroids, int64_t c) {
+  const float* p = points.row(row);
+  const float* q = centroids.row(c);
+  double s = 0;
+  for (int64_t i = 0; i < points.cols(); ++i) {
+    const double d = static_cast<double>(p[i]) - q[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Matrix& points, int k, int iterations, Rng* rng) {
+  GA_CHECK_GE(points.rows(), k);
+  GA_CHECK_GT(k, 0);
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+
+  KMeansResult res;
+  res.centroids = Matrix(k, d);
+  res.assignment.assign(n, 0);
+
+  // k-means++ seeding.
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  int64_t first = static_cast<int64_t>(rng->UniformInt(n));
+  std::copy(points.row(first), points.row(first) + d, res.centroids.row(0));
+  for (int c = 1; c < k; ++c) {
+    double total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             SquaredDistance(points, i, res.centroids, c - 1));
+      total += min_dist[i];
+    }
+    double target = rng->Uniform() * total;
+    int64_t chosen = n - 1;
+    for (int64_t i = 0; i < n; ++i) {
+      target -= min_dist[i];
+      if (target <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    std::copy(points.row(chosen), points.row(chosen) + d,
+              res.centroids.row(c));
+  }
+
+  // Lloyd iterations.
+  std::vector<int64_t> counts(k);
+  for (int it = 0; it < iterations; ++it) {
+    bool changed = false;
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int32_t best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist = SquaredDistance(points, i, res.centroids, c);
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (res.assignment[i] != best_c) {
+        res.assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    res.centroids.Zero();
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t c = res.assignment[i];
+      counts[c]++;
+      const float* p = points.row(i);
+      float* q = res.centroids.row(c);
+      for (int64_t j = 0; j < d; ++j) q[j] += p[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        const int64_t r = static_cast<int64_t>(rng->UniformInt(n));
+        std::copy(points.row(r), points.row(r) + d, res.centroids.row(c));
+        continue;
+      }
+      float* q = res.centroids.row(c);
+      for (int64_t j = 0; j < d; ++j) q[j] /= static_cast<float>(counts[c]);
+    }
+    if (!changed) break;
+  }
+  return res;
+}
+
+}  // namespace graphaug

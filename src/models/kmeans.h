@@ -1,0 +1,23 @@
+#ifndef GRAPHAUG_MODELS_KMEANS_H_
+#define GRAPHAUG_MODELS_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace graphaug {
+
+/// Result of Lloyd's k-means over embedding rows.
+struct KMeansResult {
+  Matrix centroids;                 ///< k x d
+  std::vector<int32_t> assignment;  ///< per row, in [0, k)
+};
+
+/// Runs k-means (k-means++ seeding, Lloyd iterations) on the rows of
+/// `points`. NCL's EM prototype step uses this every few epochs.
+KMeansResult RunKMeans(const Matrix& points, int k, int iterations, Rng* rng);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_KMEANS_H_

@@ -1,0 +1,113 @@
+#include "models/mf_models.h"
+
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+BiasMf::BiasMf(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config) {
+  user_factors_ = store_.CreateNormal("user_factors", dataset->num_users,
+                                      config.dim, &rng_);
+  item_factors_ = store_.CreateNormal("item_factors", dataset->num_items,
+                                      config.dim, &rng_);
+  user_bias_ = store_.Create("user_bias", dataset->num_users, 1);
+  item_bias_ = store_.Create("item_bias", dataset->num_items, 1);
+}
+
+Var BiasMf::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var p = ag::GatherRows(ag::Leaf(tape, user_factors_), batch.users);
+  Var qp = ag::GatherRows(ag::Leaf(tape, item_factors_), batch.pos_items);
+  Var qn = ag::GatherRows(ag::Leaf(tape, item_factors_), batch.neg_items);
+  Var bu = ag::GatherRows(ag::Leaf(tape, user_bias_), batch.users);
+  Var bp = ag::GatherRows(ag::Leaf(tape, item_bias_), batch.pos_items);
+  Var bn = ag::GatherRows(ag::Leaf(tape, item_bias_), batch.neg_items);
+  Var pos = ag::Add(ag::Add(ag::RowDot(p, qp), bu), bp);
+  Var neg = ag::Add(ag::Add(ag::RowDot(p, qn), bu), bn);
+  return ag::BprLoss(pos, neg);
+}
+
+void BiasMf::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  *user_emb = user_factors_->value;
+  *item_emb = item_factors_->value;
+}
+
+Matrix BiasMf::ScoreUsers(const std::vector<int32_t>& users) const {
+  Matrix batch = GatherRows(user_factors_->value, users);
+  Matrix scores;
+  Gemm(batch, false, item_factors_->value, true, 1.f, 0.f, &scores);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const float bu = user_bias_->value[users[i]];
+    float* row = scores.row(static_cast<int64_t>(i));
+    for (int64_t v = 0; v < scores.cols(); ++v) {
+      row[v] += bu + item_bias_->value[v];
+    }
+  }
+  return scores;
+}
+
+namespace {
+
+std::vector<int64_t> NcfMlpDims(int dim) {
+  // [2d -> d -> d/2 -> 1]
+  return {2 * static_cast<int64_t>(dim), dim, std::max(2, dim / 2), 1};
+}
+
+}  // namespace
+
+Ncf::Ncf(const Dataset* dataset, const ModelConfig& config)
+    : Recommender(dataset, config),
+      gmf_user_(store_.CreateNormal("gmf_user", dataset->num_users,
+                                    config.dim, &rng_)),
+      gmf_item_(store_.CreateNormal("gmf_item", dataset->num_items,
+                                    config.dim, &rng_)),
+      mlp_user_(store_.CreateNormal("mlp_user", dataset->num_users,
+                                    config.dim, &rng_)),
+      mlp_item_(store_.CreateNormal("mlp_item", dataset->num_items,
+                                    config.dim, &rng_)),
+      gmf_out_(store_.CreateNormal("gmf_out", 1, config.dim, &rng_, 0.1f)),
+      mlp_(&store_, "ncf_mlp", NcfMlpDims(config.dim), &rng_,
+           Activation::kRelu) {}
+
+Var Ncf::ScorePairs(Tape* tape, const std::vector<int32_t>& users,
+                    const std::vector<int32_t>& items) {
+  Var pu = ag::GatherRows(ag::Leaf(tape, gmf_user_), users);
+  Var qv = ag::GatherRows(ag::Leaf(tape, gmf_item_), items);
+  Var gmf = ag::Mul(pu, qv);
+  // GMF scalar: (p ⊙ q) · w, via row-broadcast multiply + row sum.
+  Var gmf_score = ag::RowSum(ag::MulRowBroadcast(gmf, ag::Leaf(tape, gmf_out_)));
+  Var mu = ag::GatherRows(ag::Leaf(tape, mlp_user_), users);
+  Var mv = ag::GatherRows(ag::Leaf(tape, mlp_item_), items);
+  Var mlp_score = mlp_.Forward(tape, ag::ConcatCols(mu, mv));
+  return ag::Add(gmf_score, mlp_score);
+}
+
+Var Ncf::BuildLoss(Tape* tape, const TripletBatch& batch) {
+  Var pos = ScorePairs(tape, batch.users, batch.pos_items);
+  Var neg = ScorePairs(tape, batch.users, batch.neg_items);
+  return ag::BprLoss(pos, neg);
+}
+
+void Ncf::ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) {
+  *user_emb = gmf_user_->value;
+  *item_emb = gmf_item_->value;
+}
+
+Matrix Ncf::ScoreUsers(const std::vector<int32_t>& users) const {
+  // Score every item for each user through the full two-branch network.
+  const int32_t num_items = dataset_->num_items;
+  Matrix out(static_cast<int64_t>(users.size()), num_items);
+  std::vector<int32_t> item_ids(num_items);
+  for (int32_t v = 0; v < num_items; ++v) item_ids[v] = v;
+  for (size_t i = 0; i < users.size(); ++i) {
+    std::vector<int32_t> user_rep(num_items, users[i]);
+    Tape tape;
+    Var scores = const_cast<Ncf*>(this)->ScorePairs(&tape, user_rep, item_ids);
+    const Matrix& s = scores.value();
+    for (int32_t v = 0; v < num_items; ++v) {
+      out.at(static_cast<int64_t>(i), v) = s[v];
+    }
+  }
+  return out;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,60 @@
+#ifndef GRAPHAUG_MODELS_MF_MODELS_H_
+#define GRAPHAUG_MODELS_MF_MODELS_H_
+
+#include "models/recommender.h"
+#include "nn/layers.h"
+
+namespace graphaug {
+
+/// BiasMF (Koren et al., 2009): matrix factorization with user/item bias
+/// terms, trained with the BPR pairwise objective.
+///   ŷ(u,v) = p_u · q_v + b_u + b_v
+class BiasMf : public Recommender {
+ public:
+  BiasMf(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "BiasMF"; }
+  Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  Parameter* user_factors_;
+  Parameter* item_factors_;
+  Parameter* user_bias_;
+  Parameter* item_bias_;
+};
+
+/// NCF / NeuMF (He et al., 2017): fuses a generalized matrix factorization
+/// branch with an MLP branch over concatenated embeddings; captures
+/// non-linear user-item feature interactions.
+///   ŷ(u,v) = w_g · (p_u ⊙ q_v) + MLP([p'_u ‖ q'_v])
+class Ncf : public Recommender {
+ public:
+  Ncf(const Dataset* dataset, const ModelConfig& config);
+
+  std::string name() const override { return "NCF"; }
+  Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+
+ protected:
+  Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
+  void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+
+ private:
+  /// Scores explicit (user, item) id pairs on a tape.
+  Var ScorePairs(Tape* tape, const std::vector<int32_t>& users,
+                 const std::vector<int32_t>& items);
+
+  Parameter* gmf_user_;
+  Parameter* gmf_item_;
+  Parameter* mlp_user_;
+  Parameter* mlp_item_;
+  Parameter* gmf_out_;  // 1 x d weights for the GMF branch
+  Mlp mlp_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_MF_MODELS_H_

@@ -1,0 +1,39 @@
+#include "models/propagation.h"
+
+namespace graphaug {
+
+Var LightGcnPropagate(Tape* tape, const CsrMatrix* adj, Var base, int layers) {
+  Var sum = base;
+  Var h = base;
+  for (int l = 0; l < layers; ++l) {
+    h = ag::Spmm(adj, h);
+    sum = ag::Add(sum, h);
+  }
+  return ag::Scale(sum, 1.f / static_cast<float>(layers + 1));
+}
+
+std::vector<Var> LightGcnLayers(Tape* tape, const CsrMatrix* adj, Var base,
+                                int layers) {
+  std::vector<Var> out;
+  out.reserve(layers + 1);
+  out.push_back(base);
+  Var h = base;
+  for (int l = 0; l < layers; ++l) {
+    h = ag::Spmm(adj, h);
+    out.push_back(h);
+  }
+  return out;
+}
+
+Var WeightedLightGcnPropagate(Tape* tape, const NormalizedAdjacency* adj,
+                              Var edge_weights, Var base, int layers) {
+  Var sum = base;
+  Var h = base;
+  for (int l = 0; l < layers; ++l) {
+    h = ag::EdgeWeightedSpmm(adj, edge_weights, h);
+    sum = ag::Add(sum, h);
+  }
+  return ag::Scale(sum, 1.f / static_cast<float>(layers + 1));
+}
+
+}  // namespace graphaug

@@ -1,0 +1,26 @@
+#ifndef GRAPHAUG_MODELS_PROPAGATION_H_
+#define GRAPHAUG_MODELS_PROPAGATION_H_
+
+#include "autograd/ops.h"
+
+namespace graphaug {
+
+/// LightGCN-style propagation: iterates h^{l+1} = Ã h^l for `layers`
+/// steps and returns the mean of all layer embeddings (including layer 0).
+/// The workhorse encoder shared by LightGCN, SGL, NCL, and the contrastive
+/// baselines.
+Var LightGcnPropagate(Tape* tape, const CsrMatrix* adj, Var base, int layers);
+
+/// Same propagation but also returns each intermediate layer (index 0 is
+/// the base embedding); used by NCL's structural-neighbor contrast.
+std::vector<Var> LightGcnLayers(Tape* tape, const CsrMatrix* adj, Var base,
+                                int layers);
+
+/// LightGCN propagation over a differentiable edge-weighted adjacency
+/// (shared by CGI and GraphAug's ablation variants).
+Var WeightedLightGcnPropagate(Tape* tape, const NormalizedAdjacency* adj,
+                              Var edge_weights, Var base, int layers);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_PROPAGATION_H_

@@ -1,0 +1,68 @@
+#include "models/recommender.h"
+
+#include "tensor/ops.h"
+
+namespace graphaug {
+
+Recommender::Recommender(const Dataset* dataset, const ModelConfig& config)
+    : dataset_(dataset),
+      config_(config),
+      graph_(dataset->TrainGraph()),
+      sampler_(&graph_),
+      rng_(config.seed) {
+  optimizer_ = std::make_unique<Adam>(config.learning_rate, 0.9f, 0.999f,
+                                      1e-8f, config.weight_decay);
+}
+
+double Recommender::TrainEpoch() {
+  OnEpochBegin();
+  int batches = config_.batches_per_epoch;
+  if (batches <= 0) {
+    batches = static_cast<int>(
+        (graph_.num_edges() + config_.batch_size - 1) / config_.batch_size);
+  }
+  double total_loss = 0;
+  for (int b = 0; b < batches; ++b) {
+    TripletBatch batch = sampler_.Sample(config_.batch_size, &rng_);
+    if (batch.size() == 0) continue;
+    Tape tape;
+    Var loss = BuildLoss(&tape, batch);
+    total_loss += loss.value().scalar();
+    tape.Backward(loss);
+    optimizer_->Step(&store_);
+  }
+  return batches > 0 ? total_loss / batches : 0.0;
+}
+
+void Recommender::Finalize() {
+  ComputeEmbeddings(&user_emb_, &item_emb_);
+  GA_CHECK_EQ(user_emb_.rows(), dataset_->num_users);
+  GA_CHECK_EQ(item_emb_.rows(), dataset_->num_items);
+}
+
+Matrix Recommender::ScoreUsers(const std::vector<int32_t>& users) const {
+  GA_CHECK(!user_emb_.empty()) << "call Finalize() before scoring";
+  Matrix batch = GatherRows(user_emb_, users);
+  Matrix scores;
+  Gemm(batch, false, item_emb_, true, 1.f, 0.f, &scores);
+  return scores;
+}
+
+Matrix Recommender::AllEmbeddings() const {
+  return ConcatRows(user_emb_, item_emb_);
+}
+
+void Recommender::DecayLearningRate() {
+  optimizer_->set_learning_rate(optimizer_->learning_rate() *
+                                config_.lr_decay);
+}
+
+std::vector<int32_t> Recommender::ToNodeIds(
+    const std::vector<int32_t>& items) const {
+  std::vector<int32_t> out(items.size());
+  const int32_t offset = ItemOffset();
+  for (size_t i = 0; i < items.size(); ++i) out[i] = items[i] + offset;
+  return out;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,110 @@
+#ifndef GRAPHAUG_MODELS_RECOMMENDER_H_
+#define GRAPHAUG_MODELS_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/optim.h"
+#include "autograd/param.h"
+#include "autograd/tape.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "graph/bipartite_graph.h"
+
+namespace graphaug {
+
+/// Hyperparameters shared by every recommender. Model-specific knobs
+/// (e.g. GraphAug's GIB weights) live in the model's own config and
+/// default from these.
+struct ModelConfig {
+  int dim = 32;              ///< embedding dimensionality d
+  int num_layers = 2;        ///< GNN propagation depth L
+  float learning_rate = 5e-3f;
+  float lr_decay = 0.96f;    ///< multiplicative per-epoch decay (paper)
+  float weight_decay = 1e-6f;///< β₃-style L2 regularization
+  int batch_size = 2048;
+  int batches_per_epoch = 0; ///< 0 => ceil(|E| / batch_size)
+  float temperature = 0.9f;  ///< InfoNCE τ (paper's best value)
+  float ssl_weight = 0.1f;   ///< weight of auxiliary SSL losses (baselines)
+  float dropout = 0.1f;
+  float leaky_slope = 0.5f;  ///< paper fixes LeakyReLU slope at 0.5
+  int contrast_batch = 256;  ///< nodes per InfoNCE batch
+  uint64_t seed = 123;
+};
+
+/// Base class for every recommender in the library. Owns the parameter
+/// store, optimizer, training graph, and BPR sampler; subclasses implement
+/// BuildLoss (per-batch scalar loss on a fresh tape) and ComputeEmbeddings
+/// (inference-time user/item tables). The default item scorer is the dot
+/// product of the finalized embeddings; models with non-factored scoring
+/// (NCF, AutoRec) override ScoreUsers.
+class Recommender {
+ public:
+  Recommender(const Dataset* dataset, const ModelConfig& config);
+  virtual ~Recommender() = default;
+
+  Recommender(const Recommender&) = delete;
+  Recommender& operator=(const Recommender&) = delete;
+
+  /// Model identifier as it appears in result tables.
+  virtual std::string name() const = 0;
+
+  /// Runs one training epoch (batched BPR + model-specific objectives);
+  /// returns the mean batch loss.
+  virtual double TrainEpoch();
+
+  /// Recomputes the cached inference embeddings; called before evaluation.
+  void Finalize();
+
+  /// Scores all items for the given users: (|users| x num_items).
+  virtual Matrix ScoreUsers(const std::vector<int32_t>& users) const;
+
+  /// Finalized user embedding table (I x d).
+  const Matrix& user_embeddings() const { return user_emb_; }
+  /// Finalized item embedding table (J x d).
+  const Matrix& item_embeddings() const { return item_emb_; }
+  /// Users stacked over items ((I+J) x d) — for MAD / uniformity studies.
+  Matrix AllEmbeddings() const;
+
+  ParamStore* params() { return &store_; }
+  const ModelConfig& config() const { return config_; }
+  const Dataset& dataset() const { return *dataset_; }
+  const BipartiteGraph& graph() const { return graph_; }
+
+  /// Applies the per-epoch learning-rate decay; the Trainer calls this.
+  void DecayLearningRate();
+
+ protected:
+  /// Builds the scalar training loss for one triplet batch. Called under a
+  /// fresh tape; gradient and optimizer step are handled by TrainEpoch.
+  virtual Var BuildLoss(Tape* tape, const TripletBatch& batch) = 0;
+
+  /// Computes inference-time embedding tables.
+  virtual void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) = 0;
+
+  /// Hook invoked before each epoch (e.g. NCL's k-means E-step, PinSage's
+  /// neighbor resampling).
+  virtual void OnEpochBegin() {}
+
+  /// Item node id offset inside the (I+J)-node homogeneous graph.
+  int32_t ItemOffset() const { return graph_.num_users(); }
+
+  /// Shifts item-local ids to homogeneous node ids.
+  std::vector<int32_t> ToNodeIds(const std::vector<int32_t>& items) const;
+
+  const Dataset* dataset_;
+  ModelConfig config_;
+  BipartiteGraph graph_;
+  TripletSampler sampler_;
+  Rng rng_;
+  ParamStore store_;
+  std::unique_ptr<Adam> optimizer_;
+  Matrix user_emb_;
+  Matrix item_emb_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_RECOMMENDER_H_

@@ -1,0 +1,27 @@
+#ifndef GRAPHAUG_MODELS_REGISTRY_H_
+#define GRAPHAUG_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/recommender.h"
+
+namespace graphaug {
+
+/// Creates any model in the library by table name ("BiasMF", "NCF",
+/// "AutoR", "GCMC", "PinSage", "NGCF", "LightGCN", "GCCF", "DisenGCN",
+/// "DGCF", "MHCN", "STGCN", "SLRec", "SGL", "DGCL", "HCCF", "CGI", "NCL",
+/// "GraphAug"). GraphAug uses default GraphAugConfig knobs derived from
+/// `config`; construct core::GraphAug directly for fine control. Aborts on
+/// unknown names.
+std::unique_ptr<Recommender> CreateModel(const std::string& name,
+                                         const Dataset* dataset,
+                                         const ModelConfig& config);
+
+/// All model names in the row order of the paper's Table II.
+std::vector<std::string> AllModelNames();
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_MODELS_REGISTRY_H_

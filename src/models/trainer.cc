@@ -1,0 +1,58 @@
+#include "models/trainer.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace graphaug {
+
+TrainResult TrainAndEvaluate(Recommender* model, const Evaluator& evaluator,
+                             const TrainOptions& options) {
+  GA_CHECK(model != nullptr);
+  TrainResult result;
+  Stopwatch total;
+  int evals_without_improvement = 0;
+
+  auto scorer = [model](const std::vector<int32_t>& users) {
+    return model->ScoreUsers(users);
+  };
+
+  for (int epoch = 1; epoch <= options.epochs; ++epoch) {
+    const double loss = model->TrainEpoch();
+    model->DecayLearningRate();
+    const bool eval_now = (options.eval_every > 0 &&
+                           epoch % options.eval_every == 0) ||
+                          epoch == options.epochs;
+    if (!eval_now) continue;
+
+    model->Finalize();
+    TopKMetrics metrics = evaluator.Evaluate(scorer);
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.loss = loss;
+    rec.recall20 = metrics.RecallAt(20);
+    rec.ndcg20 = metrics.NdcgAt(20);
+    rec.elapsed_seconds = total.ElapsedSeconds();
+    result.history.push_back(rec);
+    if (options.verbose) {
+      GA_LOG(Info) << model->name() << " epoch " << epoch << " loss " << loss
+                   << " recall@20 " << rec.recall20 << " ndcg@20 "
+                   << rec.ndcg20;
+    }
+    if (rec.recall20 > result.best_recall20) {
+      result.best_recall20 = rec.recall20;
+      result.best_epoch = epoch;
+      result.final_metrics = metrics;
+      evals_without_improvement = 0;
+    } else {
+      ++evals_without_improvement;
+      if (options.patience > 0 &&
+          evals_without_improvement >= options.patience) {
+        break;
+      }
+    }
+  }
+  result.train_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,58 @@
+#include "nn/layers.h"
+
+namespace graphaug {
+
+Linear::Linear(ParamStore* store, const std::string& name, int64_t in,
+               int64_t out, Rng* rng, bool bias) {
+  weight_ = store->CreateXavier(name + ".weight", in, out, rng);
+  if (bias) bias_ = store->Create(name + ".bias", 1, out);
+}
+
+Var Linear::Forward(Tape* tape, Var x) const {
+  Var w = ag::Leaf(tape, weight_);
+  Var y = ag::MatMul(x, w);
+  if (bias_ != nullptr) {
+    y = ag::AddRowBroadcast(y, ag::Leaf(tape, bias_));
+  }
+  return y;
+}
+
+Var Activate(Var x, Activation act, float leaky_slope) {
+  switch (act) {
+    case Activation::kNone:
+      return x;
+    case Activation::kRelu:
+      return ag::Relu(x);
+    case Activation::kLeakyRelu:
+      return ag::LeakyRelu(x, leaky_slope);
+    case Activation::kSigmoid:
+      return ag::Sigmoid(x);
+    case Activation::kTanh:
+      return ag::Tanh(x);
+  }
+  return x;
+}
+
+Mlp::Mlp(ParamStore* store, const std::string& name,
+         const std::vector<int64_t>& dims, Rng* rng, Activation act,
+         bool activate_last)
+    : act_(act), activate_last_(activate_last) {
+  GA_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(store, name + ".fc" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+}
+
+Var Mlp::Forward(Tape* tape, Var x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(tape, h);
+    if (i + 1 < layers_.size() || activate_last_) {
+      h = Activate(h, act_);
+    }
+  }
+  return h;
+}
+
+}  // namespace graphaug

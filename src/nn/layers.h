@@ -1,0 +1,58 @@
+#ifndef GRAPHAUG_NN_LAYERS_H_
+#define GRAPHAUG_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/param.h"
+#include "autograd/tape.h"
+
+namespace graphaug {
+
+/// Fully connected layer y = x W + b built on the autograd engine.
+/// Parameters are owned by the ParamStore passed at construction.
+class Linear {
+ public:
+  /// Creates W (in x out, Xavier) and b (1 x out, zeros) in `store`.
+  Linear(ParamStore* store, const std::string& name, int64_t in, int64_t out,
+         Rng* rng, bool bias = true);
+
+  /// Applies the layer on a (n x in) input.
+  Var Forward(Tape* tape, Var x) const;
+
+  Parameter* weight() const { return weight_; }
+  Parameter* bias() const { return bias_; }
+
+ private:
+  Parameter* weight_ = nullptr;
+  Parameter* bias_ = nullptr;
+};
+
+/// Activation selector for Mlp hidden layers.
+enum class Activation { kNone, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// Applies an activation op.
+Var Activate(Var x, Activation act, float leaky_slope = 0.5f);
+
+/// Multi-layer perceptron with configurable hidden sizes and activation.
+/// The final layer is linear (no activation) unless `activate_last`.
+class Mlp {
+ public:
+  Mlp(ParamStore* store, const std::string& name,
+      const std::vector<int64_t>& dims, Rng* rng,
+      Activation act = Activation::kLeakyRelu, bool activate_last = false);
+
+  Var Forward(Tape* tape, Var x) const;
+
+  const std::vector<Linear>& layers() const { return layers_; }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation act_;
+  bool activate_last_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_NN_LAYERS_H_

@@ -1,0 +1,29 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace graphaug {
+
+void InitNormal(Matrix* m, Rng* rng, float mean, float stddev) {
+  for (int64_t i = 0; i < m->size(); ++i) {
+    (*m)[i] = static_cast<float>(rng->Gaussian(mean, stddev));
+  }
+}
+
+void InitUniform(Matrix* m, Rng* rng, float lo, float hi) {
+  for (int64_t i = 0; i < m->size(); ++i) {
+    (*m)[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+}
+
+void InitXavier(Matrix* m, Rng* rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(m->rows() + m->cols()));
+  InitUniform(m, rng, static_cast<float>(-a), static_cast<float>(a));
+}
+
+void InitHe(Matrix* m, Rng* rng) {
+  const double s = std::sqrt(2.0 / static_cast<double>(m->rows()));
+  InitNormal(m, rng, 0.f, static_cast<float>(s));
+}
+
+}  // namespace graphaug

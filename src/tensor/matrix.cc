@@ -1,0 +1,32 @@
+#include "tensor/matrix.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace graphaug {
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << "x" << cols_ << "]";
+  return os.str();
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << ShapeString() << "\n";
+  const int64_t r_end = std::min<int64_t>(rows_, max_rows);
+  const int64_t c_end = std::min<int64_t>(cols_, max_cols);
+  for (int64_t r = 0; r < r_end; ++r) {
+    for (int64_t c = 0; c < c_end; ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%9.4f ", at(r, c));
+      os << buf;
+    }
+    if (c_end < cols_) os << "...";
+    os << "\n";
+  }
+  if (r_end < rows_) os << "...\n";
+  return os.str();
+}
+
+}  // namespace graphaug

@@ -1,0 +1,295 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace graphaug {
+namespace {
+
+// Naive-but-ordered kernels specialized on the four transpose combinations.
+// The common case (NN) iterates k in the middle loop so the innermost loop
+// streams both b and out rows, which vectorizes well.
+void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.f) continue;
+      const float* brow = b.row(p);
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  // out = a^T * b : a is (k x m), b is (k x n).
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  (void)m;
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (int64_t i = 0; i < a.cols(); ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.f) continue;
+      float* orow = out->row(i);
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmNT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  // out = a * b^T : a is (m x k), b is (n x k).
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += alpha * acc;
+    }
+  }
+}
+
+void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+  // out = a^T * b^T : a is (k x m), b is (n x k).
+  const int64_t m = a.cols(), k = a.rows(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = out->row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (int64_t p = 0; p < k; ++p) acc += a.at(p, i) * b.at(j, p);
+      orow[j] += alpha * acc;
+    }
+  }
+  (void)m;
+  (void)n;
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
+          float alpha, float beta, Matrix* out) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t ka = trans_a ? a.rows() : a.cols();
+  const int64_t kb = trans_b ? b.cols() : b.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  GA_CHECK_EQ(ka, kb) << "gemm inner dims";
+  if (out->rows() != m || out->cols() != n) {
+    GA_CHECK(beta == 0.f) << "beta != 0 requires preallocated out";
+    *out = Matrix(m, n);
+  } else if (beta == 0.f) {
+    out->Zero();
+  } else if (beta != 1.f) {
+    for (int64_t i = 0; i < out->size(); ++i) (*out)[i] *= beta;
+  }
+  if (!trans_a && !trans_b) {
+    GemmNN(a, b, alpha, out);
+  } else if (trans_a && !trans_b) {
+    GemmTN(a, b, alpha, out);
+  } else if (!trans_a && trans_b) {
+    GemmNT(a, b, alpha, out);
+  } else {
+    GemmTT(a, b, alpha, out);
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  Gemm(a, false, b, false, 1.f, 0.f, &out);
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  GA_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  GA_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  GA_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, float s) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void AddInPlace(Matrix* a, const Matrix& b) {
+  GA_CHECK(a->SameShape(b));
+  for (int64_t i = 0; i < a->size(); ++i) (*a)[i] += b[i];
+}
+
+void Axpy(float s, const Matrix& b, Matrix* a) {
+  GA_CHECK(a->SameShape(b));
+  for (int64_t i = 0; i < a->size(); ++i) (*a)[i] += s * b[i];
+}
+
+Matrix Map(const Matrix& a, const std::function<float(float)>& fn) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i]);
+  return out;
+}
+
+double SumAll(const Matrix& a) {
+  double s = 0;
+  for (int64_t i = 0; i < a.size(); ++i) s += a[i];
+  return s;
+}
+
+double MeanAll(const Matrix& a) {
+  return a.size() == 0 ? 0.0 : SumAll(a) / static_cast<double>(a.size());
+}
+
+float MaxAbs(const Matrix& a) {
+  float m = 0.f;
+  for (int64_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+double SquaredNorm(const Matrix& a) {
+  double s = 0;
+  for (int64_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * a[i];
+  return s;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double s = 0;
+    const float* row = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) s += row[c];
+    out[r] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Matrix RowMean(const Matrix& a) {
+  Matrix out = RowSum(a);
+  const float inv = a.cols() > 0 ? 1.f / static_cast<float>(a.cols()) : 0.f;
+  for (int64_t r = 0; r < out.size(); ++r) out[r] *= inv;
+  return out;
+}
+
+Matrix RowNorm(const Matrix& a, float eps) {
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double s = 0;
+    const float* row = a.row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) s += static_cast<double>(row[c]) * row[c];
+    out[r] = std::max(eps, static_cast<float>(std::sqrt(s)));
+  }
+  return out;
+}
+
+Matrix RowDot(const Matrix& a, const Matrix& b) {
+  GA_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* ar = a.row(r);
+    const float* br = b.row(r);
+    double s = 0;
+    for (int64_t c = 0; c < a.cols(); ++c) s += static_cast<double>(ar[c]) * br[c];
+    out[r] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Matrix RowCosine(const Matrix& a, const Matrix& b, float eps) {
+  Matrix dots = RowDot(a, b);
+  Matrix na = RowNorm(a, eps);
+  Matrix nb = RowNorm(b, eps);
+  Matrix out(a.rows(), 1);
+  for (int64_t r = 0; r < a.rows(); ++r) out[r] = dots[r] / (na[r] * nb[r]);
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) out.at(c, r) = a.at(r, c);
+  }
+  return out;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  GA_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.row(r), a.row(r) + a.cols(), out.row(r));
+    std::copy(b.row(r), b.row(r) + b.cols(), out.row(r) + a.cols());
+  }
+  return out;
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  GA_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), out.data());
+  std::copy(b.data(), b.data() + b.size(), out.data() + a.size());
+  return out;
+}
+
+Matrix SliceCols(const Matrix& a, int64_t start, int64_t len) {
+  GA_CHECK_GE(start, 0);
+  GA_CHECK_LE(start + len, a.cols());
+  Matrix out(a.rows(), len);
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.row(r) + start, a.row(r) + start + len, out.row(r));
+  }
+  return out;
+}
+
+Matrix SliceRows(const Matrix& a, int64_t start, int64_t len) {
+  GA_CHECK_GE(start, 0);
+  GA_CHECK_LE(start + len, a.rows());
+  Matrix out(len, a.cols());
+  std::copy(a.row(start), a.row(start) + len * a.cols(), out.data());
+  return out;
+}
+
+Matrix GatherRows(const Matrix& a, const std::vector<int32_t>& idx) {
+  Matrix out(static_cast<int64_t>(idx.size()), a.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    GA_DCHECK(idx[i] >= 0 && idx[i] < a.rows());
+    std::copy(a.row(idx[i]), a.row(idx[i]) + a.cols(),
+              out.row(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+void ScatterAddRows(const Matrix& src, const std::vector<int32_t>& idx,
+                    Matrix* out) {
+  GA_CHECK_EQ(src.rows(), static_cast<int64_t>(idx.size()));
+  GA_CHECK_EQ(src.cols(), out->cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    const float* srow = src.row(static_cast<int64_t>(i));
+    float* orow = out->row(idx[i]);
+    for (int64_t c = 0; c < src.cols(); ++c) orow[c] += srow[c];
+  }
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, float rtol, float atol) {
+  if (!a.SameShape(b)) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > atol + rtol * std::fabs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace graphaug

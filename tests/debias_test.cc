@@ -1,0 +1,103 @@
+// Tests for the popularity-debiasing (unbiased-SSL future-work)
+// extension: propensity model properties, IPS weight normalization,
+// weighted-loss semantics, and GraphAug integration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/graphaug.h"
+#include "data/synthetic.h"
+#include "models/debias.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+BipartiteGraph SkewGraph() {
+  // Item 0 is very popular (5 users); items 1..4 have one user each.
+  return BipartiteGraph(
+      5, 5, {{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0},
+             {0, 1}, {1, 2}, {2, 3}, {3, 4}});
+}
+
+TEST(DebiasTest, PropensitiesMonotoneInPopularity) {
+  BipartiteGraph g = SkewGraph();
+  Matrix rho = ItemPropensities(g, /*gamma=*/1.0);
+  ASSERT_EQ(rho.rows(), 5);
+  EXPECT_FLOAT_EQ(rho[0], 1.f);  // most popular -> propensity 1
+  for (int v = 1; v < 5; ++v) {
+    EXPECT_LT(rho[v], rho[0]);
+    EXPECT_GE(rho[v], 0.05f);  // clipped
+  }
+}
+
+TEST(DebiasTest, GammaZeroIsUniform) {
+  BipartiteGraph g = SkewGraph();
+  Matrix rho = ItemPropensities(g, 0.0);
+  for (int64_t v = 0; v < rho.size(); ++v) EXPECT_FLOAT_EQ(rho[v], 1.f);
+}
+
+TEST(DebiasTest, HigherGammaDebiasesHarder) {
+  BipartiteGraph g = SkewGraph();
+  Matrix soft = ItemPropensities(g, 0.5, 1e-4);
+  Matrix hard = ItemPropensities(g, 2.0, 1e-4);
+  // Tail items get lower propensity (=> higher IPS weight) under larger γ.
+  EXPECT_LT(hard[1], soft[1]);
+}
+
+TEST(DebiasTest, BatchWeightsSelfNormalize) {
+  BipartiteGraph g = SkewGraph();
+  Matrix rho = ItemPropensities(g, 1.0);
+  std::vector<int32_t> pos = {0, 1, 2, 0};
+  Matrix w = BatchIpsWeights(pos, rho);
+  EXPECT_NEAR(MeanAll(w), 1.0, 1e-5);
+  // Tail item 1 gets more weight than head item 0.
+  EXPECT_GT(w[1], w[0]);
+}
+
+TEST(DebiasTest, IpsBprUpweightsTailMistakes) {
+  BipartiteGraph g = SkewGraph();
+  Matrix rho = ItemPropensities(g, 1.0, 1e-3);
+  Tape tape;
+  // Two identical score gaps, one on a head positive, one on a tail
+  // positive: the tail version must produce a larger loss.
+  Matrix pos(1, 1, 0.f), neg(1, 1, 1.f);
+  Var head = IpsBprLoss(&tape, ag::Constant(&tape, pos),
+                        ag::Constant(&tape, neg), {0}, rho);
+  Var tail = IpsBprLoss(&tape, ag::Constant(&tape, pos),
+                        ag::Constant(&tape, neg), {1}, rho);
+  // Self-normalized single-element batches are equal; compare mixed batch.
+  Matrix pos2(2, 1, 0.f), neg2(2, 1);
+  neg2[0] = 1.f;  // mistake on head item
+  neg2[1] = -5.f; // easy win on tail item
+  Var mixed_head_mistake =
+      IpsBprLoss(&tape, ag::Constant(&tape, pos2), ag::Constant(&tape, neg2),
+                 {0, 1}, rho);
+  Matrix neg3(2, 1);
+  neg3[0] = -5.f;  // easy win on head item
+  neg3[1] = 1.f;   // mistake on tail item
+  Var mixed_tail_mistake =
+      IpsBprLoss(&tape, ag::Constant(&tape, pos2), ag::Constant(&tape, neg3),
+                 {0, 1}, rho);
+  EXPECT_GT(mixed_tail_mistake.value().scalar(),
+            mixed_head_mistake.value().scalar());
+  EXPECT_GT(head.value().scalar(), 0.f);
+  EXPECT_GT(tail.value().scalar(), 0.f);
+}
+
+TEST(DebiasTest, GraphAugTrainsWithIps) {
+  SyntheticData data = GeneratePreset("tiny");
+  GraphAugConfig cfg;
+  cfg.dim = 16;
+  cfg.batches_per_epoch = 3;
+  cfg.ips_gamma = 1.0f;
+  GraphAug model(&data.dataset, cfg);
+  for (int e = 0; e < 3; ++e) {
+    ASSERT_TRUE(std::isfinite(model.TrainEpoch()));
+  }
+  model.Finalize();
+}
+
+}  // namespace
+}  // namespace graphaug

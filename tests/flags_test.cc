@@ -1,0 +1,82 @@
+// Tests for the command-line flag parser used by the CLI tool.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace graphaug {
+namespace {
+
+FlagParser Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  FlagParser f = Parse({"--dim=64", "--dataset=gowalla-sim", "train"});
+  EXPECT_EQ(f.GetInt("dim", 32), 64);
+  EXPECT_EQ(f.GetString("dataset", ""), "gowalla-sim");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "train");
+}
+
+TEST(FlagsTest, SpaceFormIsSwitchPlusPositional) {
+  // `--dataset gowalla-sim` parses as the switch --dataset=true plus a
+  // positional: the space form is deliberately unsupported.
+  FlagParser f = Parse({"--dataset", "gowalla-sim"});
+  EXPECT_TRUE(f.GetBool("dataset", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "gowalla-sim");
+}
+
+TEST(FlagsTest, Defaults) {
+  FlagParser f = Parse({});
+  EXPECT_EQ(f.GetInt("epochs", 24), 24);
+  EXPECT_DOUBLE_EQ(f.GetDouble("lr", 0.005), 0.005);
+  EXPECT_EQ(f.GetString("model", "GraphAug"), "GraphAug");
+  EXPECT_FALSE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.Has("anything"));
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  FlagParser f = Parse({"--verbose", "--fast", "run"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.GetBool("fast", false));
+  EXPECT_EQ(f.positional()[0], "run");
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  EXPECT_TRUE(Parse({"--x=yes"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=1"}).GetBool("x", false));
+  EXPECT_FALSE(Parse({"--x=no"}).GetBool("x", true));
+  EXPECT_FALSE(Parse({"--x=false"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, DoubleAndNegativeInt) {
+  FlagParser f = Parse({"--lr=1e-3", "--offset=-5"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("lr", 0), 1e-3);
+  EXPECT_EQ(f.GetInt("offset", 0), -5);
+}
+
+TEST(FlagsTest, MalformedNumberAborts) {
+  FlagParser f = Parse({"--dim=abc"});
+  EXPECT_DEATH(f.GetInt("dim", 0), "expects an integer");
+  FlagParser g = Parse({"--lr=xyz"});
+  EXPECT_DEATH(g.GetDouble("lr", 0), "expects a number");
+}
+
+TEST(FlagsTest, UnusedFlagsDetected) {
+  FlagParser f = Parse({"--dim=4", "--typo-flag=7"});
+  (void)f.GetInt("dim", 0);
+  auto unused = f.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo-flag");
+}
+
+}  // namespace
+}  // namespace graphaug

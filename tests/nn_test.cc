@@ -1,0 +1,114 @@
+// Tests for the NN building blocks: Linear/MLP shapes, gradients through
+// layers, and activation dispatch.
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_check.h"
+#include "nn/layers.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  ParamStore store;
+  Linear lin(&store, "lin", 4, 3, &rng);
+  Tape tape;
+  Matrix x(5, 4);
+  InitNormal(&x, &rng);
+  Var y = lin.Forward(&tape, ag::Constant(&tape, x));
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  // Bias contributes: shift bias and outputs must shift.
+  lin.bias()->value.Fill(1.f);
+  Tape tape2;
+  Var y2 = lin.Forward(&tape2, ag::Constant(&tape2, x));
+  Matrix diff = Sub(y2.value(), y.value());
+  for (int64_t i = 0; i < diff.size(); ++i) EXPECT_NEAR(diff[i], 1.f, 1e-5);
+}
+
+TEST(LinearTest, GradientThroughWeightAndBias) {
+  Rng rng(2);
+  ParamStore store;
+  Linear lin(&store, "lin", 3, 2, &rng);
+  Matrix x(4, 3);
+  InitNormal(&x, &rng);
+  for (Parameter* p : {lin.weight(), lin.bias()}) {
+    GradCheckResult res = CheckGradient(p, [&](Tape* t) {
+      return ag::MeanAll(
+          ag::Square(lin.Forward(t, ag::Constant(t, x))));
+    });
+    EXPECT_TRUE(res.ok) << res.max_abs_error;
+  }
+}
+
+TEST(MlpTest, DepthAndGradient) {
+  Rng rng(3);
+  ParamStore store;
+  Mlp mlp(&store, "mlp", {6, 4, 2, 1}, &rng, Activation::kLeakyRelu);
+  EXPECT_EQ(mlp.layers().size(), 3u);
+  Matrix x(7, 6);
+  InitNormal(&x, &rng);
+  Tape tape;
+  Var y = mlp.Forward(&tape, ag::Constant(&tape, x));
+  EXPECT_EQ(y.rows(), 7);
+  EXPECT_EQ(y.cols(), 1);
+  GradCheckResult res =
+      CheckGradient(mlp.layers()[0].weight(), [&](Tape* t) {
+        return ag::MeanAll(mlp.Forward(t, ag::Constant(t, x)));
+      });
+  EXPECT_TRUE(res.ok) << res.max_abs_error;
+}
+
+TEST(MlpTest, ActivateLastApplies) {
+  Rng rng(4);
+  ParamStore store;
+  Mlp mlp(&store, "mlp", {3, 2}, &rng, Activation::kSigmoid,
+          /*activate_last=*/true);
+  Matrix x(5, 3);
+  InitNormal(&x, &rng, 0.f, 2.f);
+  Tape tape;
+  Var y = mlp.Forward(&tape, ag::Constant(&tape, x));
+  for (int64_t i = 0; i < y.value().size(); ++i) {
+    EXPECT_GT(y.value()[i], 0.f);
+    EXPECT_LT(y.value()[i], 1.f);
+  }
+}
+
+TEST(ActivationTest, DispatchMatchesOps) {
+  Rng rng(5);
+  Matrix x(3, 3);
+  InitNormal(&x, &rng, 0.f, 2.f);
+  Tape tape;
+  Var v = ag::Constant(&tape, x);
+  EXPECT_TRUE(AllClose(Activate(v, Activation::kNone).value(), x));
+  Matrix relu = Activate(v, Activation::kRelu).value();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(relu[i], x[i] > 0 ? x[i] : 0.f);
+  }
+  Matrix lrelu = Activate(v, Activation::kLeakyRelu, 0.5f).value();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(lrelu[i], x[i] > 0 ? x[i] : 0.5f * x[i]);
+  }
+}
+
+TEST(ParamStoreTest, AccountingAndZeroGrad) {
+  Rng rng(6);
+  ParamStore store;
+  Parameter* a = store.CreateNormal("a", 2, 3, &rng);
+  Parameter* b = store.CreateXavier("b", 4, 4, &rng);
+  EXPECT_EQ(store.NumScalars(), 2 * 3 + 4 * 4);
+  EXPECT_GT(store.SquaredParamNorm(), 0.0);
+  a->grad.Fill(1.f);
+  store.ZeroGrad();
+  EXPECT_FLOAT_EQ(MaxAbs(a->grad), 0.f);
+  EXPECT_FLOAT_EQ(MaxAbs(b->grad), 0.f);
+  b->trainable = false;
+  const double norm_a = SquaredNorm(a->value);
+  EXPECT_DOUBLE_EQ(store.SquaredParamNorm(), norm_a);
+}
+
+}  // namespace
+}  // namespace graphaug

@@ -1,0 +1,225 @@
+// Randomized property tests (parameterized over seeds): mathematical
+// invariants that must hold for *any* input — loss non-negativity and
+// monotonicity, normalization invariants, split disjointness, sampler
+// validity, metric bounds, adjacency mass conservation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "autograd/ops.h"
+#include "data/dataset.h"
+#include "data/sampler.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/kmeans.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng MakeRng() const { return Rng(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+TEST_P(SeededProperty, InfoNceIsNonNegative) {
+  // log-sum-exp over a row upper-bounds any element of that row,
+  // including the positive logit, so the InfoNCE loss cannot go below 0.
+  Rng rng = MakeRng();
+  Tape tape;
+  Matrix a(12, 6), b(12, 6);
+  InitNormal(&a, &rng, 0.f, 2.f);
+  InitNormal(&b, &rng, 0.f, 2.f);
+  Var loss = ag::InfoNceLoss(ag::Constant(&tape, a), ag::Constant(&tape, b),
+                             0.4f);
+  EXPECT_GE(loss.value().scalar(), -1e-5);
+}
+
+TEST_P(SeededProperty, BprMonotoneInScoreGap) {
+  // Increasing every positive score must not increase the BPR loss.
+  Rng rng = MakeRng();
+  Matrix pos(16, 1), neg(16, 1);
+  InitNormal(&pos, &rng);
+  InitNormal(&neg, &rng);
+  Tape tape;
+  Var l1 = ag::BprLoss(ag::Constant(&tape, pos), ag::Constant(&tape, neg));
+  Matrix pos_up = pos;
+  for (int64_t i = 0; i < pos_up.size(); ++i) pos_up[i] += 1.f;
+  Var l2 =
+      ag::BprLoss(ag::Constant(&tape, pos_up), ag::Constant(&tape, neg));
+  EXPECT_LT(l2.value().scalar(), l1.value().scalar());
+  EXPECT_GT(l1.value().scalar(), 0.0);
+}
+
+TEST_P(SeededProperty, GaussianKlNonNegative) {
+  Rng rng = MakeRng();
+  Matrix mu(8, 4), raw(8, 4);
+  InitNormal(&mu, &rng, 0.f, 2.f);
+  InitNormal(&raw, &rng, 0.f, 2.f);
+  Tape tape;
+  Var kl = ag::GaussianKl(ag::Constant(&tape, mu), ag::Constant(&tape, raw));
+  EXPECT_GE(kl.value().scalar(), -1e-6);
+}
+
+TEST_P(SeededProperty, RowL2NormalizeYieldsUnitRows) {
+  Rng rng = MakeRng();
+  Matrix x(20, 9);
+  InitNormal(&x, &rng, 0.f, 3.f);
+  Tape tape;
+  Var y = ag::RowL2Normalize(ag::Constant(&tape, x));
+  Matrix norms = RowNorm(y.value());
+  for (int64_t r = 0; r < norms.size(); ++r) {
+    EXPECT_NEAR(norms[r], 1.f, 1e-4);
+  }
+}
+
+TEST_P(SeededProperty, SoftmaxOfLogSumExpSumsToOne) {
+  // exp(x - lse(x)) must be a distribution row-wise.
+  Rng rng = MakeRng();
+  Matrix x(10, 7);
+  InitNormal(&x, &rng, 0.f, 4.f);
+  Tape tape;
+  Var lse = ag::LogSumExpRows(ag::Constant(&tape, x));
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    double s = 0;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      s += std::exp(x.at(r, c) - lse.value()[r]);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-4);
+  }
+}
+
+TEST_P(SeededProperty, SplitIsDisjointAndComplete) {
+  Rng rng = MakeRng();
+  std::vector<Edge> edges;
+  for (int32_t u = 0; u < 40; ++u) {
+    const int deg = 1 + static_cast<int>(rng.UniformInt(12));
+    for (int d = 0; d < deg; ++d) {
+      edges.push_back({u, static_cast<int32_t>(rng.UniformInt(30))});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  std::vector<Edge> train, test;
+  SplitLeaveOut(edges, 0.3, &rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), edges.size());
+  std::set<std::pair<int, int>> train_set;
+  for (const Edge& e : train) train_set.insert({e.user, e.item});
+  for (const Edge& e : test) {
+    EXPECT_EQ(train_set.count({e.user, e.item}), 0u);
+  }
+}
+
+TEST_P(SeededProperty, SyntheticTrainTestDisjoint) {
+  SyntheticConfig cfg = PresetConfig("tiny");
+  cfg.seed = GetParam();
+  SyntheticData data = GenerateSynthetic(cfg);
+  std::set<std::pair<int, int>> train;
+  for (const Edge& e : data.dataset.train_edges) {
+    EXPECT_TRUE(train.insert({e.user, e.item}).second)
+        << "duplicate train edge";
+  }
+  for (const Edge& e : data.dataset.test_edges) {
+    EXPECT_EQ(train.count({e.user, e.item}), 0u) << "test leaked into train";
+  }
+}
+
+TEST_P(SeededProperty, TripletSamplerInvariants) {
+  SyntheticConfig cfg = PresetConfig("tiny");
+  cfg.seed = GetParam();
+  SyntheticData data = GenerateSynthetic(cfg);
+  BipartiteGraph g = data.dataset.TrainGraph();
+  TripletSampler sampler(&g);
+  Rng rng = MakeRng();
+  TripletBatch batch = sampler.Sample(300, &rng);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(g.HasEdge(batch.users[i], batch.pos_items[i]));
+    EXPECT_FALSE(g.HasEdge(batch.users[i], batch.neg_items[i]));
+    EXPECT_NE(batch.pos_items[i], batch.neg_items[i]);
+  }
+}
+
+TEST_P(SeededProperty, MetricsBoundedAndMonotoneInK) {
+  SyntheticConfig cfg = PresetConfig("tiny");
+  cfg.seed = GetParam();
+  SyntheticData data = GenerateSynthetic(cfg);
+  Evaluator eval(&data.dataset, {5, 20, 40});
+  Rng rng = MakeRng();
+  auto scorer = [&](const std::vector<int32_t>& users) {
+    Matrix m(static_cast<int64_t>(users.size()), data.dataset.num_items);
+    InitNormal(&m, &rng);
+    return m;
+  };
+  TopKMetrics m = eval.Evaluate(scorer);
+  for (double v : m.recall) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  for (double v : m.ndcg) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Recall and hit rate can only grow with deeper cutoffs.
+  EXPECT_LE(m.RecallAt(5), m.RecallAt(20) + 1e-12);
+  EXPECT_LE(m.RecallAt(20), m.RecallAt(40) + 1e-12);
+  EXPECT_LE(m.HitRateAt(5), m.HitRateAt(40) + 1e-12);
+}
+
+TEST_P(SeededProperty, NormalizedAdjacencyMassConservation) {
+  // For any per-edge weight vector w, the weighted value array must equal
+  // base * w on interaction entries and base on self-loops.
+  SyntheticConfig cfg = PresetConfig("tiny");
+  cfg.seed = GetParam();
+  SyntheticData data = GenerateSynthetic(cfg);
+  BipartiteGraph g = data.dataset.TrainGraph();
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng = MakeRng();
+  std::vector<float> w(g.num_edges());
+  for (float& x : w) x = rng.UniformFloat();
+  std::vector<float> values = adj.WeightedValues(w);
+  for (size_t k = 0; k < values.size(); ++k) {
+    const int64_t e = adj.nnz_to_edge[k];
+    const float expected =
+        e < 0 ? adj.base_values[k]
+              : adj.base_values[k] * w[static_cast<size_t>(e)];
+    EXPECT_FLOAT_EQ(values[k], expected);
+  }
+}
+
+TEST_P(SeededProperty, KMeansAssignsToNearestCentroid) {
+  Rng rng = MakeRng();
+  Matrix pts(60, 5);
+  InitNormal(&pts, &rng, 0.f, 1.f);
+  KMeansResult res = RunKMeans(pts, 5, 10, &rng);
+  for (int64_t i = 0; i < pts.rows(); ++i) {
+    double own = 0, best = 1e300;
+    for (int c = 0; c < 5; ++c) {
+      double d = 0;
+      for (int64_t j = 0; j < 5; ++j) {
+        const double diff = pts.at(i, j) - res.centroids.at(c, j);
+        d += diff * diff;
+      }
+      if (c == res.assignment[i]) own = d;
+      best = std::min(best, d);
+    }
+    EXPECT_NEAR(own, best, 1e-6) << "row " << i;
+  }
+}
+
+TEST_P(SeededProperty, DropoutPreservesMeanInExpectation) {
+  Rng rng = MakeRng();
+  Matrix x(64, 64, 1.f);
+  Tape tape;
+  Var y = ag::Dropout(ag::Constant(&tape, x), 0.3f, &rng);
+  EXPECT_NEAR(MeanAll(y.value()), 1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace graphaug

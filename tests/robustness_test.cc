@@ -1,0 +1,163 @@
+// Failure-injection and degenerate-input tests: tiny or pathological
+// datasets, cold-start users, fully-dropped views, extreme configs —
+// the library must either work or fail loudly via CHECK, never silently
+// corrupt.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/graphaug.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "graph/corruption.h"
+#include "models/registry.h"
+#include "models/trainer.h"
+
+namespace graphaug {
+namespace {
+
+Dataset MinimalDataset() {
+  Dataset d;
+  d.name = "minimal";
+  d.num_users = 3;
+  d.num_items = 4;
+  d.train_edges = {{0, 0}, {0, 1}, {1, 1}, {2, 2}};
+  d.test_edges = {{0, 2}, {1, 3}};
+  return d;
+}
+
+TEST(RobustnessTest, MinimalDatasetTrainsEveryModel) {
+  Dataset d = MinimalDataset();
+  ModelConfig cfg;
+  cfg.dim = 8;
+  cfg.batch_size = 16;
+  cfg.batches_per_epoch = 2;
+  cfg.contrast_batch = 3;
+  for (const std::string& name : AllModelNames()) {
+    auto model = CreateModel(name, &d, cfg);
+    const double loss = model->TrainEpoch();
+    EXPECT_TRUE(std::isfinite(loss)) << name;
+    model->Finalize();
+    Matrix scores = model->ScoreUsers({0, 1, 2});
+    for (int64_t i = 0; i < scores.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(scores[i])) << name;
+    }
+  }
+}
+
+TEST(RobustnessTest, ColdStartUserStillScored) {
+  // User 2 has one training edge and no test edge; user 0 carries the
+  // data. Every user must receive finite scores.
+  Dataset d = MinimalDataset();
+  GraphAugConfig cfg;
+  cfg.dim = 8;
+  cfg.batches_per_epoch = 2;
+  cfg.contrast_batch = 3;
+  GraphAug model(&d, cfg);
+  model.TrainEpoch();
+  model.Finalize();
+  Matrix scores = model.ScoreUsers({2});
+  for (int64_t i = 0; i < scores.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(scores[i]));
+  }
+}
+
+TEST(RobustnessTest, ExtremeEdgeThresholdDropsEverything) {
+  // xi = 0.99 drops essentially all sampled edges; training must still
+  // proceed on the (self-loop only) views without NaNs.
+  SyntheticData data = GeneratePreset("tiny");
+  GraphAugConfig cfg;
+  cfg.dim = 8;
+  cfg.batches_per_epoch = 2;
+  cfg.edge_threshold = 0.99f;
+  GraphAug model(&data.dataset, cfg);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_TRUE(std::isfinite(model.TrainEpoch()));
+  }
+}
+
+TEST(RobustnessTest, OddEmbeddingDimWorksWithGib) {
+  // GIB splits d into halves; odd d must still work (floor split).
+  SyntheticData data = GeneratePreset("tiny");
+  GraphAugConfig cfg;
+  cfg.dim = 9;
+  cfg.batches_per_epoch = 2;
+  GraphAug model(&data.dataset, cfg);
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch()));
+}
+
+TEST(RobustnessTest, FullDropoutCorruptionRejected) {
+  SyntheticData data = GeneratePreset("tiny");
+  BipartiteGraph g = data.dataset.TrainGraph();
+  Rng rng(1);
+  EXPECT_DEATH(DropEdges(g, 1.0, &rng), "");
+  EXPECT_DEATH(DropEdges(g, -0.1, &rng), "");
+}
+
+TEST(RobustnessTest, EvaluatorWithNoTestUsers) {
+  Dataset d = MinimalDataset();
+  d.test_edges.clear();
+  Evaluator eval(&d, {5});
+  EXPECT_TRUE(eval.evaluable_users().empty());
+  auto scorer = [&](const std::vector<int32_t>& users) {
+    return Matrix(static_cast<int64_t>(users.size()), d.num_items);
+  };
+  TopKMetrics m = eval.Evaluate(scorer);
+  EXPECT_EQ(m.num_users, 0);
+}
+
+TEST(RobustnessTest, TrainerOnZeroEpochs) {
+  SyntheticData data = GeneratePreset("tiny");
+  ModelConfig cfg;
+  cfg.dim = 8;
+  cfg.batches_per_epoch = 1;
+  auto model = CreateModel("BiasMF", &data.dataset, cfg);
+  Evaluator eval(&data.dataset, {20, 40});
+  TrainOptions opts;
+  opts.epochs = 0;
+  TrainResult r = TrainAndEvaluate(model.get(), eval, opts);
+  EXPECT_TRUE(r.history.empty());
+  EXPECT_EQ(r.best_epoch, 0);
+}
+
+TEST(RobustnessTest, HugeContrastBatchClampsToUniverse) {
+  SyntheticData data = GeneratePreset("tiny");
+  ModelConfig cfg;
+  cfg.dim = 8;
+  cfg.batches_per_epoch = 1;
+  cfg.contrast_batch = 1 << 20;  // far more nodes than exist
+  auto model = CreateModel("SGL", &data.dataset, cfg);
+  EXPECT_TRUE(std::isfinite(model->TrainEpoch()));
+}
+
+TEST(RobustnessTest, NoiseInjectionOnDenseGraphTerminates) {
+  // A nearly-complete bipartite graph leaves few free slots; the injector
+  // must cap attempts instead of spinning forever.
+  std::vector<Edge> edges;
+  for (int32_t u = 0; u < 10; ++u) {
+    for (int32_t v = 0; v < 10; ++v) {
+      if ((u + v) % 17 != 0) edges.push_back({u, v});
+    }
+  }
+  BipartiteGraph g(10, 10, edges);
+  Rng rng(3);
+  BipartiteGraph noisy = AddRandomEdges(g, 2.0, &rng);
+  EXPECT_LE(noisy.num_edges(), 100);
+  EXPECT_GE(noisy.num_edges(), g.num_edges());
+}
+
+TEST(RobustnessTest, GraphAugSingleLayerSingleHop) {
+  SyntheticData data = GeneratePreset("tiny");
+  GraphAugConfig cfg;
+  cfg.dim = 8;
+  cfg.num_layers = 1;
+  cfg.hops = {0, 1};
+  cfg.batches_per_epoch = 2;
+  GraphAug model(&data.dataset, cfg);
+  EXPECT_TRUE(std::isfinite(model.TrainEpoch()));
+  model.Finalize();
+}
+
+}  // namespace
+}  // namespace graphaug

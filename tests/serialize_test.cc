@@ -1,0 +1,105 @@
+// Tests for binary parameter checkpointing: round-trips, name matching,
+// shape-mismatch rejection, and integration with a trained model.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "autograd/serialize.h"
+#include "core/graphaug.h"
+#include "data/synthetic.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  Rng rng(1);
+  ParamStore store;
+  Parameter* a = store.CreateNormal("layer.weight", 7, 5, &rng);
+  Parameter* b = store.CreateNormal("emb", 13, 4, &rng);
+  const Matrix a_orig = a->value;
+  const Matrix b_orig = b->value;
+
+  const std::string path = "/tmp/graphaug_ckpt_test.bin";
+  ASSERT_TRUE(SaveCheckpoint(store, path));
+  a->value.Zero();
+  b->value.Fill(9.f);
+  ASSERT_TRUE(LoadCheckpoint(&store, path));
+  EXPECT_TRUE(AllClose(a->value, a_orig, 0.f, 0.f));
+  EXPECT_TRUE(AllClose(b->value, b_orig, 0.f, 0.f));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingEntriesLeftUntouchedExtraIgnored) {
+  Rng rng(2);
+  const std::string path = "/tmp/graphaug_ckpt_test2.bin";
+  {
+    ParamStore store;
+    store.CreateNormal("shared", 3, 3, &rng);
+    store.CreateNormal("only_in_file", 2, 2, &rng);
+    ASSERT_TRUE(SaveCheckpoint(store, path));
+  }
+  ParamStore store2;
+  Parameter* shared = store2.Create("shared", 3, 3);
+  Parameter* fresh = store2.Create("only_in_store", 4, 1);
+  fresh->value.Fill(5.f);
+  ASSERT_TRUE(LoadCheckpoint(&store2, path));
+  EXPECT_GT(MaxAbs(shared->value), 0.f);       // loaded
+  EXPECT_FLOAT_EQ(fresh->value[0], 5.f);       // untouched
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Rng rng(3);
+  const std::string path = "/tmp/graphaug_ckpt_test3.bin";
+  {
+    ParamStore store;
+    store.CreateNormal("w", 3, 3, &rng);
+    ASSERT_TRUE(SaveCheckpoint(store, path));
+  }
+  ParamStore store2;
+  store2.Create("w", 2, 3);
+  EXPECT_FALSE(LoadCheckpoint(&store2, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileAndBadMagic) {
+  ParamStore store;
+  EXPECT_FALSE(LoadCheckpoint(&store, "/nonexistent/ckpt.bin"));
+  const std::string path = "/tmp/graphaug_ckpt_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a checkpoint", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadCheckpoint(&store, path));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TrainedModelRestoresIdenticalScores) {
+  // Train a model briefly, checkpoint, perturb, restore, and verify the
+  // ranking scores are bit-identical again.
+  SyntheticData data = GeneratePreset("tiny");
+  GraphAugConfig cfg;
+  cfg.dim = 16;
+  cfg.batches_per_epoch = 3;
+  cfg.seed = 4;
+  GraphAug model(&data.dataset, cfg);
+  for (int e = 0; e < 3; ++e) model.TrainEpoch();
+  model.Finalize();
+  Matrix before = model.ScoreUsers({0, 1, 2});
+
+  const std::string path = "/tmp/graphaug_ckpt_model.bin";
+  ASSERT_TRUE(SaveCheckpoint(*model.params(), path));
+  for (Parameter* p : model.params()->params()) p->value.Fill(0.123f);
+  ASSERT_TRUE(LoadCheckpoint(model.params(), path));
+  model.Finalize();
+  Matrix after = model.ScoreUsers({0, 1, 2});
+  EXPECT_TRUE(AllClose(before, after, 0.f, 0.f));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace graphaug

@@ -1,0 +1,165 @@
+// Unit tests for the dense tensor substrate: Matrix semantics, all GEMM
+// transpose combinations checked against a reference implementation,
+// elementwise kernels, reductions, and shape utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/init.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+Matrix RandomMatrix(int64_t r, int64_t c, uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  InitNormal(&m, &rng, 0.f, 1.f);
+  return m;
+}
+
+/// Reference O(n^3) matmul used to validate Gemm.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (int64_t k = 0; k < a.cols(); ++k) s += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  EXPECT_FLOAT_EQ(m.at(2, 3), 2.5f);
+  m.at(1, 2) = -1.f;
+  EXPECT_FLOAT_EQ(m.at(1, 2), -1.f);
+  m.Zero();
+  EXPECT_FLOAT_EQ(MaxAbs(m), 0.f);
+}
+
+TEST(MatrixTest, FromDataValidatesSize) {
+  Matrix m(2, 2, std::vector<float>{1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.f);
+  EXPECT_DEATH(Matrix(2, 2, std::vector<float>{1, 2, 3}), "");
+}
+
+TEST(MatrixTest, ScalarRequiresSingleElement) {
+  Matrix s(1, 1, 5.f);
+  EXPECT_FLOAT_EQ(s.scalar(), 5.f);
+  Matrix m(2, 1);
+  EXPECT_DEATH(m.scalar(), "");
+}
+
+class GemmTransposeTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTransposeTest, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  Matrix a = RandomMatrix(ta ? 7 : 5, ta ? 5 : 7, 1);
+  Matrix b = RandomMatrix(tb ? 6 : 7, tb ? 7 : 6, 2);
+  Matrix out;
+  Gemm(a, ta, b, tb, 1.f, 0.f, &out);
+  Matrix ref = NaiveMatMul(ta ? Transpose(a) : a, tb ? Transpose(b) : b);
+  EXPECT_TRUE(AllClose(out, ref)) << "ta=" << ta << " tb=" << tb;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, GemmTransposeTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(GemmTest, AlphaBetaAccumulation) {
+  Matrix a = RandomMatrix(3, 4, 3);
+  Matrix b = RandomMatrix(4, 2, 4);
+  Matrix out(3, 2, 1.f);
+  Gemm(a, false, b, false, 2.f, 0.5f, &out);
+  Matrix ref = Scale(NaiveMatMul(a, b), 2.f);
+  for (int64_t i = 0; i < ref.size(); ++i) ref[i] += 0.5f;
+  EXPECT_TRUE(AllClose(out, ref));
+}
+
+TEST(OpsTest, ElementwiseAndReductions) {
+  Matrix a(2, 2, std::vector<float>{1, -2, 3, -4});
+  Matrix b(2, 2, std::vector<float>{2, 2, 2, 2});
+  EXPECT_TRUE(AllClose(Add(a, b), Matrix(2, 2, {3, 0, 5, -2})));
+  EXPECT_TRUE(AllClose(Sub(a, b), Matrix(2, 2, {-1, -4, 1, -6})));
+  EXPECT_TRUE(AllClose(Mul(a, b), Matrix(2, 2, {2, -4, 6, -8})));
+  EXPECT_DOUBLE_EQ(SumAll(a), -2.0);
+  EXPECT_DOUBLE_EQ(MeanAll(a), -0.5);
+  EXPECT_FLOAT_EQ(MaxAbs(a), 4.f);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 1 + 4 + 9 + 16);
+}
+
+TEST(OpsTest, RowReductions) {
+  Matrix a(2, 3, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Matrix rs = RowSum(a);
+  EXPECT_FLOAT_EQ(rs[0], 6.f);
+  EXPECT_FLOAT_EQ(rs[1], 15.f);
+  Matrix rm = RowMean(a);
+  EXPECT_FLOAT_EQ(rm[0], 2.f);
+  Matrix rn = RowNorm(a);
+  EXPECT_NEAR(rn[0], std::sqrt(14.f), 1e-5);
+  Matrix rd = RowDot(a, a);
+  EXPECT_FLOAT_EQ(rd[1], 16 + 25 + 36);
+  Matrix rc = RowCosine(a, a);
+  EXPECT_NEAR(rc[0], 1.f, 1e-6);
+}
+
+TEST(OpsTest, ShapeUtilities) {
+  Matrix a(2, 2, std::vector<float>{1, 2, 3, 4});
+  Matrix b(2, 1, std::vector<float>{9, 8});
+  Matrix cc = ConcatCols(a, b);
+  EXPECT_EQ(cc.cols(), 3);
+  EXPECT_FLOAT_EQ(cc.at(1, 2), 8.f);
+  Matrix cr = ConcatRows(a, a);
+  EXPECT_EQ(cr.rows(), 4);
+  Matrix sc = SliceCols(cc, 1, 2);
+  EXPECT_FLOAT_EQ(sc.at(0, 1), 9.f);
+  Matrix sr = SliceRows(cr, 2, 2);
+  EXPECT_TRUE(AllClose(sr, a));
+  Matrix t = Transpose(a);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 3.f);
+}
+
+TEST(OpsTest, GatherAndScatter) {
+  Matrix a(3, 2, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Matrix g = GatherRows(a, {2, 0, 2});
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.f);
+  Matrix out(3, 2);
+  ScatterAddRows(g, {0, 0, 1}, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 6.f);  // 5 + 1
+  EXPECT_FLOAT_EQ(out.at(1, 1), 6.f);
+}
+
+TEST(InitTest, XavierBoundsAndNormalMoments) {
+  Rng rng(77);
+  Matrix m(200, 100);
+  InitXavier(&m, &rng);
+  const float bound = std::sqrt(6.f / (200 + 100));
+  EXPECT_LE(MaxAbs(m), bound + 1e-6);
+  Matrix n(400, 50);
+  InitNormal(&n, &rng, 0.f, 0.1f);
+  EXPECT_NEAR(MeanAll(n), 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(SquaredNorm(n) / n.size()), 0.1, 0.01);
+}
+
+TEST(OpsTest, AllCloseDetectsDifferences) {
+  Matrix a(2, 2, 1.f);
+  Matrix b = a;
+  EXPECT_TRUE(AllClose(a, b));
+  b.at(1, 1) = 1.1f;
+  EXPECT_FALSE(AllClose(a, b));
+  EXPECT_FALSE(AllClose(a, Matrix(2, 3)));
+}
+
+}  // namespace
+}  // namespace graphaug
