@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_noise.cc" "bench/CMakeFiles/bench_fig3_noise.dir/bench_fig3_noise.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_noise.dir/bench_fig3_noise.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/graphaug_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/graphaug_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/graphaug_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/graphaug_modelbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/graphaug_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/graphaug_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/graphaug_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/graphaug_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphaug_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/graphaug_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphaug_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mixhop_mad.dir/bench_table3_mixhop_mad.cc.o"
+  "CMakeFiles/bench_table3_mixhop_mad.dir/bench_table3_mixhop_mad.cc.o.d"
+  "bench_table3_mixhop_mad"
+  "bench_table3_mixhop_mad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mixhop_mad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_aug_strength.dir/bench_table4_aug_strength.cc.o"
+  "CMakeFiles/bench_table4_aug_strength.dir/bench_table4_aug_strength.cc.o.d"
+  "bench_table4_aug_strength"
+  "bench_table4_aug_strength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_aug_strength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

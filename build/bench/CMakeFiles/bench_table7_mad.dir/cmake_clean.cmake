@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_mad.dir/bench_table7_mad.cc.o"
+  "CMakeFiles/bench_table7_mad.dir/bench_table7_mad.cc.o.d"
+  "bench_table7_mad"
+  "bench_table7_mad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_mad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

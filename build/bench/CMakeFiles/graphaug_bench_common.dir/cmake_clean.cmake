@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/graphaug_bench_common.dir/bench_common.cc.o.d"
+  "libgraphaug_bench_common.a"
+  "libgraphaug_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

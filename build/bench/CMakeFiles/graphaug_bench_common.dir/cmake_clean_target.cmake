@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphaug_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_denoising.dir/ecommerce_denoising.cpp.o"
+  "CMakeFiles/ecommerce_denoising.dir/ecommerce_denoising.cpp.o.d"
+  "ecommerce_denoising"
+  "ecommerce_denoising.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_denoising.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/grad_check.cc" "src/autograd/CMakeFiles/graphaug_autograd.dir/grad_check.cc.o" "gcc" "src/autograd/CMakeFiles/graphaug_autograd.dir/grad_check.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/autograd/CMakeFiles/graphaug_autograd.dir/ops.cc.o" "gcc" "src/autograd/CMakeFiles/graphaug_autograd.dir/ops.cc.o.d"
+  "/root/repo/src/autograd/optim.cc" "src/autograd/CMakeFiles/graphaug_autograd.dir/optim.cc.o" "gcc" "src/autograd/CMakeFiles/graphaug_autograd.dir/optim.cc.o.d"
+  "/root/repo/src/autograd/param.cc" "src/autograd/CMakeFiles/graphaug_autograd.dir/param.cc.o" "gcc" "src/autograd/CMakeFiles/graphaug_autograd.dir/param.cc.o.d"
+  "/root/repo/src/autograd/serialize.cc" "src/autograd/CMakeFiles/graphaug_autograd.dir/serialize.cc.o" "gcc" "src/autograd/CMakeFiles/graphaug_autograd.dir/serialize.cc.o.d"
+  "/root/repo/src/autograd/tape.cc" "src/autograd/CMakeFiles/graphaug_autograd.dir/tape.cc.o" "gcc" "src/autograd/CMakeFiles/graphaug_autograd.dir/tape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/graphaug_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphaug_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphaug_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/graphaug_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/graphaug_autograd.dir/ops.cc.o"
+  "CMakeFiles/graphaug_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/graphaug_autograd.dir/optim.cc.o"
+  "CMakeFiles/graphaug_autograd.dir/optim.cc.o.d"
+  "CMakeFiles/graphaug_autograd.dir/param.cc.o"
+  "CMakeFiles/graphaug_autograd.dir/param.cc.o.d"
+  "CMakeFiles/graphaug_autograd.dir/serialize.cc.o"
+  "CMakeFiles/graphaug_autograd.dir/serialize.cc.o.d"
+  "CMakeFiles/graphaug_autograd.dir/tape.cc.o"
+  "CMakeFiles/graphaug_autograd.dir/tape.cc.o.d"
+  "libgraphaug_autograd.a"
+  "libgraphaug_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

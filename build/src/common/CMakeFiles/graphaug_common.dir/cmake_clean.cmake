@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_common.dir/flags.cc.o"
+  "CMakeFiles/graphaug_common.dir/flags.cc.o.d"
+  "CMakeFiles/graphaug_common.dir/logging.cc.o"
+  "CMakeFiles/graphaug_common.dir/logging.cc.o.d"
+  "CMakeFiles/graphaug_common.dir/string_util.cc.o"
+  "CMakeFiles/graphaug_common.dir/string_util.cc.o.d"
+  "CMakeFiles/graphaug_common.dir/table.cc.o"
+  "CMakeFiles/graphaug_common.dir/table.cc.o.d"
+  "CMakeFiles/graphaug_common.dir/thread_pool.cc.o"
+  "CMakeFiles/graphaug_common.dir/thread_pool.cc.o.d"
+  "libgraphaug_common.a"
+  "libgraphaug_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

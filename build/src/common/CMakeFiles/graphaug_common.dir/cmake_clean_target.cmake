@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgraphaug_common.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_core.dir/edge_scorer.cc.o"
+  "CMakeFiles/graphaug_core.dir/edge_scorer.cc.o.d"
+  "CMakeFiles/graphaug_core.dir/gib.cc.o"
+  "CMakeFiles/graphaug_core.dir/gib.cc.o.d"
+  "CMakeFiles/graphaug_core.dir/graphaug.cc.o"
+  "CMakeFiles/graphaug_core.dir/graphaug.cc.o.d"
+  "CMakeFiles/graphaug_core.dir/mixhop_encoder.cc.o"
+  "CMakeFiles/graphaug_core.dir/mixhop_encoder.cc.o.d"
+  "CMakeFiles/graphaug_core.dir/reparam_sampler.cc.o"
+  "CMakeFiles/graphaug_core.dir/reparam_sampler.cc.o.d"
+  "libgraphaug_core.a"
+  "libgraphaug_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

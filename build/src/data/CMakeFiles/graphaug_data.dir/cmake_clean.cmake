@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_data.dir/dataset.cc.o"
+  "CMakeFiles/graphaug_data.dir/dataset.cc.o.d"
+  "CMakeFiles/graphaug_data.dir/io.cc.o"
+  "CMakeFiles/graphaug_data.dir/io.cc.o.d"
+  "CMakeFiles/graphaug_data.dir/sampler.cc.o"
+  "CMakeFiles/graphaug_data.dir/sampler.cc.o.d"
+  "CMakeFiles/graphaug_data.dir/stats.cc.o"
+  "CMakeFiles/graphaug_data.dir/stats.cc.o.d"
+  "CMakeFiles/graphaug_data.dir/synthetic.cc.o"
+  "CMakeFiles/graphaug_data.dir/synthetic.cc.o.d"
+  "libgraphaug_data.a"
+  "libgraphaug_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

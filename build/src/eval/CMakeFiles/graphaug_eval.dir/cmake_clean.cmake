@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_eval.dir/embedding_stats.cc.o"
+  "CMakeFiles/graphaug_eval.dir/embedding_stats.cc.o.d"
+  "CMakeFiles/graphaug_eval.dir/evaluator.cc.o"
+  "CMakeFiles/graphaug_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/graphaug_eval.dir/metrics.cc.o"
+  "CMakeFiles/graphaug_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/graphaug_eval.dir/significance.cc.o"
+  "CMakeFiles/graphaug_eval.dir/significance.cc.o.d"
+  "libgraphaug_eval.a"
+  "libgraphaug_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/graphaug_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/graphaug_graph.dir/corruption.cc.o"
+  "CMakeFiles/graphaug_graph.dir/corruption.cc.o.d"
+  "CMakeFiles/graphaug_graph.dir/csr.cc.o"
+  "CMakeFiles/graphaug_graph.dir/csr.cc.o.d"
+  "libgraphaug_graph.a"
+  "libgraphaug_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

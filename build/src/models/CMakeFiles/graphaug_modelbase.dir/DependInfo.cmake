@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/debias.cc" "src/models/CMakeFiles/graphaug_modelbase.dir/debias.cc.o" "gcc" "src/models/CMakeFiles/graphaug_modelbase.dir/debias.cc.o.d"
+  "/root/repo/src/models/kmeans.cc" "src/models/CMakeFiles/graphaug_modelbase.dir/kmeans.cc.o" "gcc" "src/models/CMakeFiles/graphaug_modelbase.dir/kmeans.cc.o.d"
+  "/root/repo/src/models/propagation.cc" "src/models/CMakeFiles/graphaug_modelbase.dir/propagation.cc.o" "gcc" "src/models/CMakeFiles/graphaug_modelbase.dir/propagation.cc.o.d"
+  "/root/repo/src/models/recommender.cc" "src/models/CMakeFiles/graphaug_modelbase.dir/recommender.cc.o" "gcc" "src/models/CMakeFiles/graphaug_modelbase.dir/recommender.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/graphaug_modelbase.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/graphaug_modelbase.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/graphaug_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/graphaug_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/graphaug_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/graphaug_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphaug_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/graphaug_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/graphaug_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_modelbase.dir/debias.cc.o"
+  "CMakeFiles/graphaug_modelbase.dir/debias.cc.o.d"
+  "CMakeFiles/graphaug_modelbase.dir/kmeans.cc.o"
+  "CMakeFiles/graphaug_modelbase.dir/kmeans.cc.o.d"
+  "CMakeFiles/graphaug_modelbase.dir/propagation.cc.o"
+  "CMakeFiles/graphaug_modelbase.dir/propagation.cc.o.d"
+  "CMakeFiles/graphaug_modelbase.dir/recommender.cc.o"
+  "CMakeFiles/graphaug_modelbase.dir/recommender.cc.o.d"
+  "CMakeFiles/graphaug_modelbase.dir/trainer.cc.o"
+  "CMakeFiles/graphaug_modelbase.dir/trainer.cc.o.d"
+  "libgraphaug_modelbase.a"
+  "libgraphaug_modelbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_modelbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

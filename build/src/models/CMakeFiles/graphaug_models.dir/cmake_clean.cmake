@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_models.dir/autorec.cc.o"
+  "CMakeFiles/graphaug_models.dir/autorec.cc.o.d"
+  "CMakeFiles/graphaug_models.dir/contrastive_ssl.cc.o"
+  "CMakeFiles/graphaug_models.dir/contrastive_ssl.cc.o.d"
+  "CMakeFiles/graphaug_models.dir/disentangled.cc.o"
+  "CMakeFiles/graphaug_models.dir/disentangled.cc.o.d"
+  "CMakeFiles/graphaug_models.dir/generative_ssl.cc.o"
+  "CMakeFiles/graphaug_models.dir/generative_ssl.cc.o.d"
+  "CMakeFiles/graphaug_models.dir/gnn_models.cc.o"
+  "CMakeFiles/graphaug_models.dir/gnn_models.cc.o.d"
+  "CMakeFiles/graphaug_models.dir/mf_models.cc.o"
+  "CMakeFiles/graphaug_models.dir/mf_models.cc.o.d"
+  "CMakeFiles/graphaug_models.dir/registry.cc.o"
+  "CMakeFiles/graphaug_models.dir/registry.cc.o.d"
+  "libgraphaug_models.a"
+  "libgraphaug_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_nn.dir/layers.cc.o"
+  "CMakeFiles/graphaug_nn.dir/layers.cc.o.d"
+  "libgraphaug_nn.a"
+  "libgraphaug_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_tensor.dir/init.cc.o"
+  "CMakeFiles/graphaug_tensor.dir/init.cc.o.d"
+  "CMakeFiles/graphaug_tensor.dir/matrix.cc.o"
+  "CMakeFiles/graphaug_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/graphaug_tensor.dir/ops.cc.o"
+  "CMakeFiles/graphaug_tensor.dir/ops.cc.o.d"
+  "libgraphaug_tensor.a"
+  "libgraphaug_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

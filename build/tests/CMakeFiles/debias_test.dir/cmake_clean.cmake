@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debias_test.dir/debias_test.cc.o"
+  "CMakeFiles/debias_test.dir/debias_test.cc.o.d"
+  "debias_test"
+  "debias_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_internals_test.dir/tape_internals_test.cc.o"
+  "CMakeFiles/tape_internals_test.dir/tape_internals_test.cc.o.d"
+  "tape_internals_test"
+  "tape_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

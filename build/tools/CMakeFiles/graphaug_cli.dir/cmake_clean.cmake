@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphaug_cli.dir/graphaug_cli.cc.o"
+  "CMakeFiles/graphaug_cli.dir/graphaug_cli.cc.o.d"
+  "graphaug"
+  "graphaug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphaug_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
