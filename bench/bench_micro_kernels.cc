@@ -1,15 +1,36 @@
-// google-benchmark micro-benchmarks for the compute kernels underlying
-// every experiment: dense GEMM, SpMM (plain and edge-weighted), the
-// mixhop encoder forward pass, BPR triplet sampling, and full-ranking
-// evaluation throughput. These back the complexity discussion in
-// §III-D.2 of the paper (mixhop cost ≈ vanilla GNN cost).
+// Micro-benchmarks for the compute kernels underlying every experiment:
+// dense GEMM, SpMM (plain and edge-weighted), the mixhop encoder forward
+// pass, BPR triplet sampling, and full-ranking evaluation throughput.
+// These back the complexity discussion in §III-D.2 of the paper (mixhop
+// cost ≈ vanilla GNN cost).
+//
+// Two modes:
+//   bench_micro_kernels                 # kernel scaling baseline: times
+//       serial vs. parallel variants of each hot kernel at 1/2/4/N
+//       threads, verifies bitwise determinism across thread counts, and
+//       writes machine-readable BENCH_kernels.json for later PRs to
+//       regress against. Flags: --json-out=FILE, --fast, --reps=N.
+//   bench_micro_kernels --gbench ...    # the google-benchmark suite
+//       (accepts the usual --benchmark_* flags).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "common/flags.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "core/mixhop_encoder.h"
 #include "data/sampler.h"
 #include "data/synthetic.h"
+#include "eval/evaluator.h"
 #include "models/propagation.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
@@ -124,7 +145,265 @@ void BM_NormalizedAdjacencyBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalizedAdjacencyBuild);
 
+// ------------------------------------------------------------------------
+// Kernel scaling baseline (BENCH_kernels.json)
+
+/// One timed kernel: Run() executes the operation once and returns a
+/// checksum of the output so determinism across thread counts can be
+/// asserted (bitwise on the accumulated bytes of the result).
+struct KernelCase {
+  std::string name;
+  std::string shape;
+  double work = 0;  ///< approximate flops (or scored entries) per run
+  std::function<Matrix()> run;
+};
+
+/// Yelp-scale synthetic adjacency (the paper's largest benchmark: ~42.7K
+/// users, ~26.8K items, ~182K interactions) built from a uniform random
+/// pattern — kernel cost depends only on the pattern shape.
+BipartiteGraph YelpScaleGraph() {
+  constexpr int32_t kUsers = 42712, kItems = 26822;
+  constexpr int64_t kEdges = 182357;
+  Rng rng(99);
+  std::vector<Edge> edges;
+  edges.reserve(kEdges);
+  for (int64_t i = 0; i < kEdges; ++i) {
+    edges.push_back({static_cast<int32_t>(rng.UniformInt(uint64_t{kUsers})),
+                     static_cast<int32_t>(rng.UniformInt(uint64_t{kItems}))});
+  }
+  return BipartiteGraph(kUsers, kItems, std::move(edges));
+}
+
+std::vector<KernelCase> BuildKernelCases(bool fast) {
+  std::vector<KernelCase> cases;
+
+  // Dense GEMM at GIB-augmenter scale: (2048 x 128) * (128 x 2048).
+  {
+    const int64_t m = fast ? 512 : 2048, k = 128, n = fast ? 512 : 2048;
+    auto a = std::make_shared<Matrix>(m, k);
+    auto b = std::make_shared<Matrix>(k, n);
+    Rng rng(1);
+    InitNormal(a.get(), &rng);
+    InitNormal(b.get(), &rng);
+    cases.push_back(
+        {"gemm_nn", std::to_string(m) + "x" + std::to_string(k) + "x" +
+                        std::to_string(n),
+         2.0 * static_cast<double>(m) * k * n, [a, b] {
+           Matrix out;
+           Gemm(*a, false, *b, false, 1.f, 0.f, &out);
+           return out;
+         }});
+  }
+
+  // SpMM / SpmmT over the Yelp-scale normalized adjacency, d = 64.
+  {
+    auto g = std::make_shared<BipartiteGraph>(
+        fast ? BipartiteGraph(4000, 2500, [] {
+          Rng rng(98);
+          std::vector<Edge> es;
+          for (int i = 0; i < 20000; ++i) {
+            es.push_back({static_cast<int32_t>(rng.UniformInt(uint64_t{4000})),
+                          static_cast<int32_t>(rng.UniformInt(uint64_t{2500}))});
+          }
+          return es;
+        }())
+             : YelpScaleGraph());
+    auto adj = std::make_shared<NormalizedAdjacency>(
+        g->BuildNormalizedAdjacency(1.f));
+    const int64_t d = 64;
+    auto h = std::make_shared<Matrix>(g->num_nodes(), d);
+    Rng rng(2);
+    InitNormal(h.get(), &rng);
+    const std::string shape = std::to_string(adj->matrix.nnz()) + "nnz_x" +
+                              std::to_string(d);
+    const double work = 2.0 * static_cast<double>(adj->matrix.nnz()) * d;
+    cases.push_back({"spmm", shape, work, [adj, h] {
+                       Matrix out;
+                       adj->matrix.Spmm(*h, &out);
+                       return out;
+                     }});
+    cases.push_back({"spmm_t", shape, work, [adj, h] {
+                       Matrix out;
+                       adj->matrix.SpmmT(*h, &out);
+                       return out;
+                     }});
+
+    // Edge-weighted SpMM forward + backward (the GraphAug training step's
+    // differentiable propagation), d = 32.
+    const int64_t dw = 32;
+    auto hw = std::make_shared<Matrix>(g->num_nodes(), dw);
+    InitNormal(hw.get(), &rng);
+    auto store = std::make_shared<ParamStore>();
+    Parameter* wp = store->Create("w", g->num_edges(), 1);
+    wp->value.Fill(0.8f);
+    Parameter* hp = store->Create("h", g->num_nodes(), dw);
+    hp->value = *hw;
+    cases.push_back(
+        {"edge_weighted_spmm_fwd_bwd",
+         std::to_string(adj->matrix.nnz()) + "nnz_x" + std::to_string(dw),
+         6.0 * static_cast<double>(adj->matrix.nnz()) * dw,
+         [adj, store, wp, hp] {
+           wp->ZeroGrad();
+           hp->ZeroGrad();
+           Tape tape;
+           Var y = ag::EdgeWeightedSpmm(adj.get(), ag::Leaf(&tape, wp),
+                                        ag::Leaf(&tape, hp));
+           tape.Backward(ag::MeanAll(ag::Square(y)));
+           Matrix out(1, 2);
+           out[0] = static_cast<float>(SumAll(wp->grad));
+           out[1] = static_cast<float>(SumAll(hp->grad));
+           return out;
+         }});
+  }
+
+  // Large elementwise op (8M elements).
+  {
+    const int64_t n = fast ? 1 << 20 : 1 << 23;
+    auto a = std::make_shared<Matrix>(n, 1);
+    auto b = std::make_shared<Matrix>(n, 1);
+    Rng rng(3);
+    InitNormal(a.get(), &rng);
+    InitNormal(b.get(), &rng);
+    cases.push_back({"elementwise_add", std::to_string(n),
+                     static_cast<double>(n),
+                     [a, b] { return Add(*a, *b); }});
+  }
+
+  // Full-ranking evaluation: score + mask + top-K + metrics over every
+  // evaluable user of a mid-sized synthetic dataset.
+  {
+    SyntheticConfig cfg;
+    cfg.num_users = fast ? 800 : 3000;
+    cfg.num_items = fast ? 600 : 1500;
+    cfg.mean_user_degree = 16.0;
+    cfg.seed = 21;
+    auto data = std::make_shared<SyntheticData>(GenerateSynthetic(cfg));
+    auto evaluator = std::make_shared<Evaluator>(&data->dataset,
+                                                 std::vector<int>{20, 40});
+    const int64_t d = 32;
+    auto ue = std::make_shared<Matrix>(data->dataset.num_users, d);
+    auto ie = std::make_shared<Matrix>(data->dataset.num_items, d);
+    Rng rng(4);
+    InitNormal(ue.get(), &rng);
+    InitNormal(ie.get(), &rng);
+    const double work = 2.0 * static_cast<double>(data->dataset.num_users) *
+                        data->dataset.num_items * d;
+    cases.push_back(
+        {"eval_full_ranking",
+         std::to_string(data->dataset.num_users) + "users_x" +
+             std::to_string(data->dataset.num_items) + "items",
+         work, [data, evaluator, ue, ie] {  // data keeps the Dataset alive
+           const TopKMetrics m = evaluator->Evaluate(
+               [&](const std::vector<int32_t>& users) {
+                 Matrix batch = GatherRows(*ue, users);
+                 Matrix scores;
+                 Gemm(batch, false, *ie, true, 1.f, 0.f, &scores);
+                 return scores;
+               });
+           Matrix out(1, 2);
+           out[0] = static_cast<float>(m.recall[0]);
+           out[1] = static_cast<float>(m.ndcg[1]);
+           return out;
+         }});
+  }
+  return cases;
+}
+
+int RunKernelBaseline(const FlagParser& flags) {
+  const std::string json_path =
+      flags.GetString("json-out", "BENCH_kernels.json");
+  const bool fast = flags.GetBool("fast", false);
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+
+  // Thread counts: 1, 2, 4, and hardware concurrency when it adds a new
+  // point. (On narrow machines the higher counts still run — the runtime
+  // oversubscribes — so the determinism check always covers them.)
+  SetNumThreads(0);
+  const int hw = NumThreads();
+  std::vector<int> counts = {1, 2, 4};
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+
+  // Open the output before the (expensive) input construction so an
+  // unwritable path fails immediately.
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::vector<KernelCase> cases = BuildKernelCases(fast);
+  std::fprintf(f, "{\n  \"generated_by\": \"bench_micro_kernels\",\n");
+  std::fprintf(f, "  \"fast_mode\": %s,\n", fast ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n  \"kernels\": [\n", hw);
+
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const KernelCase& kc = cases[ci];
+    std::fprintf(stderr, "[%zu/%zu] %s (%s)\n", ci + 1, cases.size(),
+                 kc.name.c_str(), kc.shape.c_str());
+    Matrix reference;
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", \"work\": %.6g,\n"
+                 "     \"runs\": [\n",
+                 kc.name.c_str(), kc.shape.c_str(), kc.work);
+    double serial_seconds = 0;
+    for (size_t ti = 0; ti < counts.size(); ++ti) {
+      SetNumThreads(counts[ti]);
+      Matrix out = kc.run();  // warmup (also populates lazy caches)
+      double best = 1e300;
+      for (int r = 0; r < reps; ++r) {
+        Stopwatch sw;
+        out = kc.run();
+        best = std::min(best, sw.ElapsedSeconds());
+      }
+      bool bitwise = true;
+      if (ti == 0) {
+        reference = out;
+        serial_seconds = best;
+      } else {
+        bitwise = reference.SameShape(out) &&
+                  std::memcmp(reference.data(), out.data(),
+                              sizeof(float) *
+                                  static_cast<size_t>(out.size())) == 0;
+      }
+      std::fprintf(
+          f,
+          "      {\"threads\": %d, \"seconds\": %.6g, \"speedup_vs_1\": "
+          "%.4g, \"bitwise_equal_to_serial\": %s}%s\n",
+          counts[ti], best, serial_seconds / best, bitwise ? "true" : "false",
+          ti + 1 < counts.size() ? "," : "");
+      std::fprintf(stderr, "    threads=%d  %.4fs  speedup=%.2fx  %s\n",
+                   counts[ti], best, serial_seconds / best,
+                   bitwise ? "bitwise-ok" : "MISMATCH");
+      if (!bitwise) {
+        std::fclose(f);
+        std::fprintf(stderr, "determinism violation in %s\n", kc.name.c_str());
+        return 1;
+      }
+    }
+    std::fprintf(f, "    ]}%s\n", ci + 1 < cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  SetNumThreads(0);
+  std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace graphaug
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);  // strips --benchmark_* flags
+  graphaug::FlagParser flags(argc, argv);
+  if (flags.Has("threads")) {
+    graphaug::SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
+  if (flags.GetBool("gbench", false)) {
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+  }
+  return graphaug::RunKernelBaseline(flags);
+}

@@ -3,11 +3,22 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <vector>
 
+#include "common/parallel.h"
 #include "tensor/ops.h"
 
 namespace graphaug::ag {
 namespace {
+
+/// Rows per chunk for the sparse kernels below: ~32K multiply-adds per
+/// chunk given the average row population, mirroring CsrMatrix::Spmm.
+int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  const int64_t per_row =
+      std::max<int64_t>(1, nnz / std::max<int64_t>(1, rows)) *
+      std::max<int64_t>(1, dense_cols);
+  return std::max<int64_t>(1, (int64_t{32} << 10) / per_row);
+}
 
 /// Emits a unary elementwise op with derivative expressed in terms of the
 /// *input* value x and the *output* value y.
@@ -224,21 +235,25 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
   const Matrix& h = dense.value();
   GA_CHECK_EQ(h.rows(), m.cols());
 
-  // Forward: out[r] += base[k] * w[edge(k)] * h[col(k)].
+  // Forward: out[r] += base[k] * w[edge(k)] * h[col(k)]. Row-parallel;
+  // output rows are disjoint so any thread count is bitwise identical.
   auto values = std::make_shared<std::vector<float>>(
       adj->WeightedValues(std::vector<float>(w.data(), w.data() + w.size())));
   Matrix y(m.rows(), h.cols());
   const int64_t d = h.cols();
   const auto& row_ptr = m.row_ptr();
   const auto& col_idx = m.col_idx();
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    float* orow = y.row(r);
-    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-      const float v = (*values)[static_cast<size_t>(k)];
-      const float* hrow = h.row(col_idx[k]);
-      for (int64_t c = 0; c < d; ++c) orow[c] += v * hrow[c];
-    }
-  }
+  ParallelFor(0, m.rows(), SpmmRowGrain(m.rows(), m.nnz(), d),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  float* orow = y.row(r);
+                  for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                    const float v = (*values)[static_cast<size_t>(k)];
+                    const float* hrow = h.row(col_idx[k]);
+                    for (int64_t c = 0; c < d; ++c) orow[c] += v * hrow[c];
+                  }
+                }
+              });
 
   const bool ng = t->NeedsGrad(wid) || t->NeedsGrad(did);
   return t->Emit(std::move(y), ng, [adj, wid, did, values](Tape* t,
@@ -249,32 +264,58 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
     const Matrix& h = t->ValueOf(did);
     const int64_t d = h.cols();
     if (t->NeedsGrad(did)) {
-      // dH[col(k)] += value[k] * up[row(k)].
+      // dH[col(k)] += value[k] * up[row(k)], computed as a race-free
+      // gather over the cached transpose pattern: each dH row is owned by
+      // exactly one chunk, and entries arrive in ascending original row —
+      // the serial scatter's accumulation order — so the result is bitwise
+      // identical to the serial formulation at any thread count.
+      const CsrTransposePattern& tp = m.TransposedPattern();
       Matrix gh(h.rows(), d);
-      for (int64_t r = 0; r < m.rows(); ++r) {
-        const float* urow = up.row(r);
-        for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-          const float v = (*values)[static_cast<size_t>(k)];
-          float* grow = gh.row(col_idx[k]);
-          for (int64_t c = 0; c < d; ++c) grow[c] += v * urow[c];
-        }
-      }
+      ParallelFor(0, m.cols(), SpmmRowGrain(m.cols(), m.nnz(), d),
+                  [&](int64_t r0, int64_t r1) {
+                    for (int64_t r = r0; r < r1; ++r) {
+                      float* grow = gh.row(r);
+                      for (int64_t k = tp.row_ptr[r]; k < tp.row_ptr[r + 1];
+                           ++k) {
+                        const float v =
+                            (*values)[static_cast<size_t>(tp.src[k])];
+                        const float* urow = up.row(tp.col_idx[k]);
+                        for (int64_t c = 0; c < d; ++c) grow[c] += v * urow[c];
+                      }
+                    }
+                  });
       t->AccumulateGrad(did, gh);
     }
     if (t->NeedsGrad(wid)) {
-      // dw[edge(k)] += base[k] * <up[row(k)], h[col(k)]>.
+      // dw[edge(k)] += base[k] * <up[row(k)], h[col(k)]>. The expensive
+      // per-nonzero dot products are row-parallel (disjoint k ranges per
+      // row); the cheap gather into dw runs serially in ascending k — the
+      // same order as a fully serial pass — because several nonzeros (the
+      // two directions of one interaction) can map to the same edge.
+      std::vector<float> per_nnz(static_cast<size_t>(m.nnz()), 0.f);
+      ParallelFor(0, m.rows(), SpmmRowGrain(m.rows(), m.nnz(), d),
+                  [&](int64_t r0, int64_t r1) {
+                    for (int64_t r = r0; r < r1; ++r) {
+                      const float* urow = up.row(r);
+                      for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+                        if (adj->nnz_to_edge[static_cast<size_t>(k)] < 0) {
+                          continue;
+                        }
+                        const float* hrow = h.row(col_idx[k]);
+                        double dot = 0;
+                        for (int64_t c = 0; c < d; ++c) {
+                          dot += static_cast<double>(urow[c]) * hrow[c];
+                        }
+                        per_nnz[static_cast<size_t>(k)] =
+                            adj->base_values[static_cast<size_t>(k)] *
+                            static_cast<float>(dot);
+                      }
+                    }
+                  });
       Matrix gw(t->ValueOf(wid).rows(), 1);
-      for (int64_t r = 0; r < m.rows(); ++r) {
-        const float* urow = up.row(r);
-        for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-          const int64_t e = adj->nnz_to_edge[static_cast<size_t>(k)];
-          if (e < 0) continue;
-          const float* hrow = h.row(col_idx[k]);
-          double dot = 0;
-          for (int64_t c = 0; c < d; ++c) dot += static_cast<double>(urow[c]) * hrow[c];
-          gw[e] += adj->base_values[static_cast<size_t>(k)] *
-                   static_cast<float>(dot);
-        }
+      for (int64_t k = 0; k < m.nnz(); ++k) {
+        const int64_t e = adj->nnz_to_edge[static_cast<size_t>(k)];
+        if (e >= 0) gw[e] += per_nnz[static_cast<size_t>(k)];
       }
       t->AccumulateGrad(wid, gw);
     }

@@ -1,0 +1,96 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace graphaug {
+namespace {
+
+std::mutex g_mu;
+int g_requested = 0;            // 0 = resolve automatically
+ThreadPool* g_pool = nullptr;   // lazily built; width == resolved count
+
+int ResolveLocked() {
+  if (g_requested > 0) return g_requested;
+  if (const char* env = std::getenv("GRAPHAUG_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Returns the pool, (re)building it to the resolved width; nullptr when
+/// the resolved width is 1 (pure serial mode, no workers at all).
+ThreadPool* PoolLocked() {
+  const int want = ResolveLocked();
+  if (want <= 1) return nullptr;
+  if (g_pool != nullptr && g_pool->num_threads() != want) {
+    delete g_pool;
+    g_pool = nullptr;
+  }
+  if (g_pool == nullptr) g_pool = new ThreadPool(want);
+  return g_pool;
+}
+
+}  // namespace
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return ResolveLocked();
+}
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_requested = std::max(0, n);
+  const int want = ResolveLocked();
+  if (g_pool != nullptr && (want <= 1 || g_pool->num_threads() != want)) {
+    delete g_pool;
+    g_pool = nullptr;
+  }
+}
+
+bool InParallelRegion() { return ThreadPool::InWorker(); }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  ThreadPool* pool = nullptr;
+  if (n > grain && !ThreadPool::InWorker()) {
+    std::lock_guard<std::mutex> lock(g_mu);
+    pool = PoolLocked();
+  }
+  if (pool == nullptr) {
+    // Same static chunk walk as the pool path, executed inline.
+    for (int64_t b = begin; b < end; b += grain) {
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+  pool->ParallelForRange(begin, end, grain, fn);
+}
+
+double ParallelReduce(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<double(int64_t, int64_t)>& chunk_fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return 0.0;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1) return chunk_fn(begin, end);
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  ParallelFor(begin, end, grain, [&](int64_t b, int64_t e) {
+    partial[static_cast<size_t>((b - begin) / grain)] = chunk_fn(b, e);
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;  // chunk order: deterministic
+  return total;
+}
+
+}  // namespace graphaug

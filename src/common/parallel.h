@@ -1,0 +1,58 @@
+#ifndef GRAPHAUG_COMMON_PARALLEL_H_
+#define GRAPHAUG_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace graphaug {
+
+/// Process-wide parallel runtime shared by every hot kernel (dense GEMM,
+/// SpMM, large elementwise maps, full-ranking evaluation). It wraps a
+/// lazily created global ThreadPool behind a deterministic ParallelFor /
+/// ParallelReduce API:
+///
+///  * Static chunking. [begin, end) is split into fixed chunks of at most
+///    `grain` indices; the decomposition depends only on the range and the
+///    grain, never on the thread count. Kernels that write disjoint chunks
+///    are bitwise reproducible at any thread count, and reductions merge
+///    chunk partials in chunk order so they are too.
+///  * Serial fallback. Single-chunk ranges, a 1-thread configuration, and
+///    nested parallel regions (a ParallelFor issued from inside a pool
+///    worker) run inline on the calling thread — same chunk walk, same
+///    results, no dispatch overhead or deadlock.
+///  * Thread-count resolution order: SetNumThreads() (wired to the
+///    --threads flag in every binary) > GRAPHAUG_NUM_THREADS env var >
+///    std::thread::hardware_concurrency().
+///
+/// Loop bodies must not throw; a GA_CHECK failure aborts the process as in
+/// serial code.
+
+/// Resolved thread count (>= 1). See resolution order above.
+int NumThreads();
+
+/// Overrides the thread count; n <= 0 restores automatic resolution. An
+/// existing pool of a different width is torn down (joining its workers)
+/// and lazily rebuilt — call only between parallel regions.
+void SetNumThreads(int n);
+
+/// Runs fn(chunk_begin, chunk_end) over the static decomposition of
+/// [begin, end) into chunks of at most `grain` indices. Chunks execute in
+/// parallel; fn must write only state owned by its chunk.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic sum-reduction: computes chunk_fn(chunk_begin, chunk_end)
+/// for every chunk of the static decomposition (in parallel) and sums the
+/// partials in chunk order, so the result is identical at any thread
+/// count. Note the chunked summation order differs from a plain serial
+/// accumulation loop; callers adopt the chunked order as the definition.
+double ParallelReduce(int64_t begin, int64_t end, int64_t grain,
+                      const std::function<double(int64_t, int64_t)>& chunk_fn);
+
+/// True while the calling thread is executing inside a parallel region
+/// (i.e. it is a pool worker); nested ParallelFor calls run serially.
+bool InParallelRegion();
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_PARALLEL_H_

@@ -1,8 +1,17 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace graphaug {
+namespace {
+
+/// Set for the lifetime of every pool worker thread; queried by InWorker()
+/// so nested parallel regions degrade to serial execution.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -10,7 +19,10 @@ ThreadPool::ThreadPool(int num_threads) {
   }
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this] {
+      t_in_pool_worker = true;
+      WorkerLoop();
+    });
   }
 }
 
@@ -22,6 +34,8 @@ ThreadPool::~ThreadPool() {
   cv_task_.notify_all();
   for (auto& t : workers_) t.join();
 }
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
@@ -39,17 +53,57 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(int64_t n, const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
-  const int64_t shards = std::min<int64_t>(n, num_threads() * 4);
-  const int64_t chunk = (n + shards - 1) / shards;
-  for (int64_t s = 0; s < shards; ++s) {
-    const int64_t begin = s * chunk;
-    const int64_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    Submit([begin, end, &fn] {
-      for (int64_t i = begin; i < end; ++i) fn(i);
+  const int64_t shards = std::min<int64_t>(n, int64_t{4} * num_threads());
+  const int64_t grain = (n + shards - 1) / shards;
+  ParallelForRange(0, n, grain, [&fn](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForRange(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t chunks = (n + grain - 1) / grain;
+  if (chunks == 1 || num_threads() <= 1 || InWorker()) {
+    // Serial fallback walks the identical chunk decomposition in order, so
+    // chunk-granular algorithms (e.g. deterministic reductions) produce the
+    // same result as the parallel path.
+    for (int64_t c = 0; c < chunks; ++c) {
+      const int64_t b = begin + c * grain;
+      fn(b, std::min(end, b + grain));
+    }
+    return;
+  }
+
+  // Per-call completion latch: `next` hands out chunk indices, `done`
+  // counts finished runner tasks. Runner count is capped by both the chunk
+  // count and the pool width; each runner drains chunks until none remain.
+  struct CallState {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t done = 0;
+  };
+  auto state = std::make_shared<CallState>();
+  const int64_t runners = std::min<int64_t>(chunks, num_threads());
+  const std::function<void(int64_t, int64_t)>* body = &fn;
+  for (int64_t t = 0; t < runners; ++t) {
+    Submit([state, body, begin, end, grain, chunks, runners] {
+      for (int64_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+           c < chunks;
+           c = state->next.fetch_add(1, std::memory_order_relaxed)) {
+        const int64_t b = begin + c * grain;
+        (*body)(b, std::min(end, b + grain));
+      }
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (++state->done == runners) state->cv.notify_all();
     });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state, runners] { return state->done == runners; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -11,8 +11,9 @@
 
 namespace graphaug {
 
-/// Minimal fixed-size thread pool used to parallelize full-ranking
-/// evaluation across users. Tasks are void() closures; Wait() blocks until
+/// Minimal fixed-size thread pool backing the shared parallel runtime in
+/// common/parallel.h (dense GEMM row panels, SpMM rows, full-ranking
+/// evaluation user chunks). Tasks are void() closures; Wait() blocks until
 /// the queue drains.
 class ThreadPool {
  public:
@@ -32,8 +33,26 @@ class ThreadPool {
   /// Number of worker threads.
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// the parallel runtime to run nested parallel regions serially instead
+  /// of deadlocking on Wait() from inside a task.
+  static bool InWorker();
+
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Work is chunked into ~4 x num_threads() contiguous blocks (one
+  /// closure per block, not per index) so the per-task dispatch cost is
+  /// amortized over the block.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+  /// Range form used by the parallel runtime: decomposes [begin, end) into
+  /// fixed chunks of at most `grain` indices and runs fn(chunk_begin,
+  /// chunk_end) across the pool, blocking until every chunk has finished.
+  /// The decomposition depends only on (begin, end, grain) — never on the
+  /// thread count — so chunk-local results are reproducible at any pool
+  /// size. Completion is tracked per call, so concurrent ParallelForRange
+  /// calls from different threads do not wait on each other's tasks.
+  void ParallelForRange(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace graphaug {
 
@@ -30,10 +31,25 @@ TopKMetrics Evaluator::Evaluate(const ScoreFn& scorer) const {
 
 namespace {
 
-/// Shared ranking loop: scores users in batches, masks training items,
-/// extracts the top-K ranking, and accumulates metrics against the
-/// relevance sets provided by `relevant_of(user)` (sorted item ids; users
-/// with an empty set are skipped).
+/// Per-chunk metric accumulator; one instance per user chunk so chunks
+/// can be ranked on different threads and merged deterministically.
+struct MetricPartial {
+  std::vector<double> recall, ndcg, precision, hit_rate, map, mrr;
+
+  explicit MetricPartial(size_t nks)
+      : recall(nks, 0), ndcg(nks, 0), precision(nks, 0), hit_rate(nks, 0),
+        map(nks, 0), mrr(nks, 0) {}
+};
+
+/// Shared ranking loop: scores users in fixed chunks of kBatch, masks
+/// training items, extracts the top-K ranking with a per-chunk selection
+/// buffer, and accumulates metrics against the relevance sets provided by
+/// `relevant_of(user)` (sorted item ids; users with an empty set are
+/// skipped). Chunks are ranked in parallel across the shared runtime —
+/// each chunk owns its score matrix, selection buffers, and metric partial
+/// — and partials are merged in chunk order, i.e. user order, so results
+/// are identical at any thread count. The scorer must tolerate concurrent
+/// invocations.
 template <typename RelevantFn>
 TopKMetrics RankAndScore(const Dataset& dataset,
                          const Evaluator::ScoreFn& scorer,
@@ -58,16 +74,20 @@ TopKMetrics RankAndScore(const Dataset& dataset,
   }
   if (batch_users.empty()) return m;
 
-  constexpr size_t kBatch = 128;
-  std::vector<int32_t> ranked;
-  std::vector<int32_t> order(dataset.num_items);
-  for (size_t begin = 0; begin < batch_users.size(); begin += kBatch) {
-    const size_t end = std::min(batch_users.size(), begin + kBatch);
+  constexpr int64_t kBatch = 128;
+  const int64_t num_users = static_cast<int64_t>(batch_users.size());
+  const int64_t num_chunks = (num_users + kBatch - 1) / kBatch;
+  std::vector<MetricPartial> partials(static_cast<size_t>(num_chunks),
+                                      MetricPartial(ks.size()));
+  ParallelFor(0, num_users, kBatch, [&](int64_t begin, int64_t end) {
+    MetricPartial& p = partials[static_cast<size_t>(begin / kBatch)];
     const std::vector<int32_t> chunk(batch_users.begin() + begin,
                                      batch_users.begin() + end);
     Matrix scores = scorer(chunk);
     GA_CHECK_EQ(scores.rows(), static_cast<int64_t>(chunk.size()));
     GA_CHECK_EQ(scores.cols(), dataset.num_items);
+    std::vector<int32_t> ranked;
+    std::vector<int32_t> order(dataset.num_items);
     for (size_t i = 0; i < chunk.size(); ++i) {
       const int32_t u = chunk[i];
       float* row = scores.row(static_cast<int64_t>(i));
@@ -81,11 +101,21 @@ TopKMetrics RankAndScore(const Dataset& dataset,
                           return row[a] != row[b] ? row[a] > row[b] : a < b;
                         });
       ranked.assign(order.begin(), order.begin() + depth);
-      AccumulateUserMetrics(ranked, relevant_of(u), ks, &m.recall, &m.ndcg,
-                            &m.precision, &m.hit_rate, &m.map, &m.mrr);
+      AccumulateUserMetrics(ranked, relevant_of(u), ks, &p.recall, &p.ndcg,
+                            &p.precision, &p.hit_rate, &p.map, &p.mrr);
+    }
+  });
+  for (const MetricPartial& p : partials) {
+    for (size_t ki = 0; ki < ks.size(); ++ki) {
+      m.recall[ki] += p.recall[ki];
+      m.ndcg[ki] += p.ndcg[ki];
+      m.precision[ki] += p.precision[ki];
+      m.hit_rate[ki] += p.hit_rate[ki];
+      m.map[ki] += p.map[ki];
+      m.mrr[ki] += p.mrr[ki];
     }
   }
-  m.num_users = static_cast<int>(batch_users.size());
+  m.num_users = static_cast<int>(num_users);
   const double inv = 1.0 / m.num_users;
   for (size_t ki = 0; ki < ks.size(); ++ki) {
     m.recall[ki] *= inv;

@@ -14,9 +14,17 @@ namespace graphaug {
 /// every item, training interactions are masked out, and the top-max(K)
 /// ranking is compared against the held-out test items — the protocol of
 /// the paper's Table II.
+///
+/// Ranking is partitioned across users in fixed chunks and run on the
+/// shared parallel runtime (common/parallel.h); per-chunk metric partials
+/// are merged in user order, so the reported metrics are identical at any
+/// thread count.
 class Evaluator {
  public:
-  /// `scorer(users)` must return a (|users| x num_items) score matrix.
+  /// `scorer(users)` must return a (|users| x num_items) score matrix. It
+  /// may be invoked concurrently from several threads, so it must not
+  /// mutate shared state (the built-in recommenders score from finalized
+  /// read-only embedding tables and satisfy this).
   using ScoreFn = std::function<Matrix(const std::vector<int32_t>&)>;
 
   /// The dataset must outlive the evaluator.

@@ -1,8 +1,23 @@
 #include "graph/csr.h"
 
 #include <algorithm>
+#include <mutex>
+
+#include "common/parallel.h"
 
 namespace graphaug {
+namespace {
+
+/// Output rows per SpMM chunk, sized so each chunk carries roughly 32K
+/// multiply-adds given the average row population.
+int64_t SpmmGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  const int64_t per_row =
+      std::max<int64_t>(1, nnz / std::max<int64_t>(1, rows)) *
+      std::max<int64_t>(1, dense_cols);
+  return std::max<int64_t>(1, (int64_t{32} << 10) / per_row);
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
                              std::vector<CooEntry> entries) {
@@ -60,14 +75,45 @@ void CsrMatrix::Spmm(const Matrix& dense, Matrix* out, bool accumulate) const {
     *out = Matrix(rows_, dense.cols());
   }
   const int64_t d = dense.cols();
-  for (int64_t r = 0; r < rows_; ++r) {
-    float* orow = out->row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      const float* drow = dense.row(col_idx_[k]);
-      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+  ParallelFor(0, rows_, SpmmGrain(rows_, nnz(), d),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  float* orow = out->row(r);
+                  for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+                    const float v = values_[k];
+                    const float* drow = dense.row(col_idx_[k]);
+                    for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+                  }
+                }
+              });
+}
+
+const CsrTransposePattern& CsrMatrix::TransposedPattern() const {
+  // One global mutex for every instance: builds are rare (once per pattern)
+  // and the fast path takes the lock only long enough to test the pointer.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  if (transpose_cache_ == nullptr) {
+    auto tp = std::make_shared<CsrTransposePattern>();
+    const int64_t n = nnz();
+    tp->row_ptr.assign(cols_ + 1, 0);
+    for (int64_t k = 0; k < n; ++k) tp->row_ptr[col_idx_[k] + 1]++;
+    for (int64_t c = 0; c < cols_; ++c) tp->row_ptr[c + 1] += tp->row_ptr[c];
+    tp->col_idx.resize(n);
+    tp->src.resize(n);
+    std::vector<int64_t> fill(tp->row_ptr.begin(), tp->row_ptr.end() - 1);
+    // Walking nonzeros in (row, col) order makes each transpose row sorted
+    // by original row — the accumulation order of the serial scatter.
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const int64_t pos = fill[col_idx_[k]]++;
+        tp->col_idx[pos] = static_cast<int32_t>(r);
+        tp->src[pos] = k;
+      }
     }
+    transpose_cache_ = std::move(tp);
   }
+  return *transpose_cache_;
 }
 
 void CsrMatrix::SpmmT(const Matrix& dense, Matrix* out, bool accumulate) const {
@@ -75,15 +121,20 @@ void CsrMatrix::SpmmT(const Matrix& dense, Matrix* out, bool accumulate) const {
   if (!accumulate || out->rows() != cols_ || out->cols() != dense.cols()) {
     *out = Matrix(cols_, dense.cols());
   }
+  const CsrTransposePattern& tp = TransposedPattern();
   const int64_t d = dense.cols();
-  for (int64_t r = 0; r < rows_; ++r) {
-    const float* drow = dense.row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const float v = values_[k];
-      float* orow = out->row(col_idx_[k]);
-      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
-    }
-  }
+  ParallelFor(0, cols_, SpmmGrain(cols_, nnz(), d),
+              [&](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  float* orow = out->row(r);
+                  for (int64_t k = tp.row_ptr[r]; k < tp.row_ptr[r + 1];
+                       ++k) {
+                    const float v = values_[tp.src[k]];
+                    const float* drow = dense.row(tp.col_idx[k]);
+                    for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+                  }
+                }
+              });
 }
 
 CsrMatrix CsrMatrix::Transpose() const {

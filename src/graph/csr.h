@@ -2,6 +2,7 @@
 #define GRAPHAUG_GRAPH_CSR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -13,6 +14,20 @@ struct CooEntry {
   int32_t row = 0;
   int32_t col = 0;
   float value = 0.f;
+};
+
+/// Value-independent transpose of a CSR *pattern*: row j of the transpose
+/// lists the original nonzeros whose column is j, in ascending original-row
+/// order, with `src[k]` pointing back at the original nonzero index. A
+/// transposed product gathers values_[src[k]] at kernel time, so the same
+/// cached pattern serves every value array sharing the pattern (WithValues
+/// copies) and the scatter in SpmmT becomes a race-free row-parallel
+/// gather with the same per-element accumulation order as the serial
+/// scatter.
+struct CsrTransposePattern {
+  std::vector<int64_t> row_ptr;  ///< size cols+1
+  std::vector<int32_t> col_idx;  ///< original row of each nonzero
+  std::vector<int64_t> src;      ///< original nonzero index
 };
 
 /// Compressed-sparse-row float matrix. Immutable after construction; the
@@ -39,15 +54,26 @@ class CsrMatrix {
   std::vector<float>* mutable_values() { return &values_; }
 
   /// Returns a copy of this matrix with the same pattern but new values
-  /// (size must equal nnz()).
+  /// (size must equal nnz()). The copy shares this matrix's cached
+  /// transpose pattern — the cache is value-independent, so swapping the
+  /// value array never invalidates it.
   CsrMatrix WithValues(std::vector<float> values) const;
 
   /// Sparse-dense product: out = this * dense. dense.rows() must equal
   /// cols(). If `accumulate` is false, out is resized/zeroed first.
+  /// Row-parallel over the shared runtime; bitwise deterministic at any
+  /// thread count.
   void Spmm(const Matrix& dense, Matrix* out, bool accumulate = false) const;
 
-  /// Transposed sparse-dense product: out = this^T * dense.
+  /// Transposed sparse-dense product: out = this^T * dense. Implemented as
+  /// a row-parallel gather over TransposedPattern() (built and cached on
+  /// first use), bitwise identical to the serial scatter formulation.
   void SpmmT(const Matrix& dense, Matrix* out, bool accumulate = false) const;
+
+  /// Lazily built, thread-safe transpose of the sparsity pattern; shared
+  /// by all value-copies of this matrix (the pattern is immutable after
+  /// construction).
+  const CsrTransposePattern& TransposedPattern() const;
 
   /// Transposed copy (pattern + values).
   CsrMatrix Transpose() const;
@@ -64,6 +90,10 @@ class CsrMatrix {
   std::vector<int64_t> row_ptr_;   // size rows_+1
   std::vector<int32_t> col_idx_;   // size nnz
   std::vector<float> values_;      // size nnz
+  /// Lazy transpose-pattern cache (see TransposedPattern()). Copied
+  /// pointer-wise with the matrix: any copy shares the same immutable
+  /// pattern, so the cached transpose stays valid for it.
+  mutable std::shared_ptr<const CsrTransposePattern> transpose_cache_;
 };
 
 }  // namespace graphaug

@@ -2,16 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
 
 namespace graphaug {
 namespace {
 
-// Naive-but-ordered kernels specialized on the four transpose combinations.
-// The common case (NN) iterates k in the middle loop so the innermost loop
-// streams both b and out rows, which vectorizes well.
-void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
-  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
+// Static-chunk grains for the parallel runtime (common/parallel.h). Chunk
+// boundaries depend only on these constants and the problem size, so every
+// kernel is bitwise reproducible at any thread count.
+constexpr int64_t kElemGrain = 1 << 15;    // elementwise ops, elems/chunk
+constexpr int64_t kReduceGrain = 1 << 16;  // full reductions, elems/chunk
+
+// Rows per GEMM/row-kernel chunk, sized so each chunk carries ~64K inner
+// multiply-adds regardless of row width.
+int64_t RowGrain(int64_t work_per_row) {
+  return std::max<int64_t>(1, (int64_t{64} << 10) /
+                                  std::max<int64_t>(1, work_per_row));
+}
+
+// Kernels specialized on the four transpose combinations, each expressed
+// over a panel [r0, r1) of *output* rows so panels can run on different
+// threads without write conflicts. Per-element accumulation order (p
+// ascending) is identical to the original serial loops, so parallel output
+// is bitwise equal to serial output. The common case (NN) iterates k in
+// the middle loop so the innermost loop streams both b and out rows, which
+// vectorizes well.
+void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
+            int64_t r0, int64_t r1) {
+  const int64_t k = a.cols(), n = b.cols();
+  for (int64_t i = r0; i < r1; ++i) {
     const float* arow = a.row(i);
     float* orow = out->row(i);
     for (int64_t p = 0; p < k; ++p) {
@@ -23,26 +44,28 @@ void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
   }
 }
 
-void GemmTN(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
-  // out = a^T * b : a is (k x m), b is (k x n).
-  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
-  (void)m;
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a.row(p);
-    const float* brow = b.row(p);
-    for (int64_t i = 0; i < a.cols(); ++i) {
-      const float av = alpha * arow[i];
+void GemmTN(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
+            int64_t r0, int64_t r1) {
+  // out = a^T * b : a is (k x m), b is (k x n); out row i reads column i
+  // of a. p stays the outer-of-inner loop so accumulation order per
+  // element matches the untransposed kernels.
+  const int64_t k = a.rows(), n = b.cols();
+  for (int64_t i = r0; i < r1; ++i) {
+    float* orow = out->row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * a.at(p, i);
       if (av == 0.f) continue;
-      float* orow = out->row(i);
+      const float* brow = b.row(p);
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
     }
   }
 }
 
-void GemmNT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+void GemmNT(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
+            int64_t r0, int64_t r1) {
   // out = a * b^T : a is (m x k), b is (n x k).
-  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
+  const int64_t k = a.cols(), n = b.rows();
+  for (int64_t i = r0; i < r1; ++i) {
     const float* arow = a.row(i);
     float* orow = out->row(i);
     for (int64_t j = 0; j < n; ++j) {
@@ -54,10 +77,11 @@ void GemmNT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
   }
 }
 
-void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
+void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
+            int64_t r0, int64_t r1) {
   // out = a^T * b^T : a is (k x m), b is (n x k).
-  const int64_t m = a.cols(), k = a.rows(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
+  const int64_t k = a.rows(), n = b.rows();
+  for (int64_t i = r0; i < r1; ++i) {
     float* orow = out->row(i);
     for (int64_t j = 0; j < n; ++j) {
       float acc = 0.f;
@@ -65,8 +89,6 @@ void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out) {
       orow[j] += alpha * acc;
     }
   }
-  (void)m;
-  (void)n;
 }
 
 }  // namespace
@@ -84,16 +106,27 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
   } else if (beta == 0.f) {
     out->Zero();
   } else if (beta != 1.f) {
-    for (int64_t i = 0; i < out->size(); ++i) (*out)[i] *= beta;
+    ParallelFor(0, out->size(), kElemGrain, [beta, out](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) (*out)[i] *= beta;
+    });
   }
+  const int64_t grain = RowGrain(ka * n);
   if (!trans_a && !trans_b) {
-    GemmNN(a, b, alpha, out);
+    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
+      GemmNN(a, b, alpha, out, r0, r1);
+    });
   } else if (trans_a && !trans_b) {
-    GemmTN(a, b, alpha, out);
+    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
+      GemmTN(a, b, alpha, out, r0, r1);
+    });
   } else if (!trans_a && trans_b) {
-    GemmNT(a, b, alpha, out);
+    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
+      GemmNT(a, b, alpha, out, r0, r1);
+    });
   } else {
-    GemmTT(a, b, alpha, out);
+    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
+      GemmTT(a, b, alpha, out, r0, r1);
+    });
   }
 }
 
@@ -106,50 +139,67 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] + b[i];
+  });
   return out;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b));
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] - b[i];
+  });
   return out;
 }
 
 Matrix Mul(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b));
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] * b[i];
+  });
   return out;
 }
 
 Matrix Scale(const Matrix& a, float s) {
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] * s;
+  });
   return out;
 }
 
 void AddInPlace(Matrix* a, const Matrix& b) {
   GA_CHECK(a->SameShape(b));
-  for (int64_t i = 0; i < a->size(); ++i) (*a)[i] += b[i];
+  ParallelFor(0, a->size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) (*a)[i] += b[i];
+  });
 }
 
 void Axpy(float s, const Matrix& b, Matrix* a) {
   GA_CHECK(a->SameShape(b));
-  for (int64_t i = 0; i < a->size(); ++i) (*a)[i] += s * b[i];
+  ParallelFor(0, a->size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) (*a)[i] += s * b[i];
+  });
 }
 
 Matrix Map(const Matrix& a, const std::function<float(float)>& fn) {
   Matrix out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.size(); ++i) out[i] = fn(a[i]);
+  ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) out[i] = fn(a[i]);
+  });
   return out;
 }
 
 double SumAll(const Matrix& a) {
-  double s = 0;
-  for (int64_t i = 0; i < a.size(); ++i) s += a[i];
-  return s;
+  return ParallelReduce(0, a.size(), kReduceGrain,
+                        [&](int64_t i0, int64_t i1) {
+                          double s = 0;
+                          for (int64_t i = i0; i < i1; ++i) s += a[i];
+                          return s;
+                        });
 }
 
 double MeanAll(const Matrix& a) {
@@ -157,25 +207,46 @@ double MeanAll(const Matrix& a) {
 }
 
 float MaxAbs(const Matrix& a) {
+  // max is order-independent, so a plain racy-free chunked max is exact.
+  const int64_t n = a.size();
+  const int64_t chunks = (n + kReduceGrain - 1) / kReduceGrain;
+  if (chunks <= 1) {
+    float m = 0.f;
+    for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i]));
+    return m;
+  }
+  std::vector<float> partial(static_cast<size_t>(chunks), 0.f);
+  ParallelFor(0, n, kReduceGrain, [&](int64_t i0, int64_t i1) {
+    float m = 0.f;
+    for (int64_t i = i0; i < i1; ++i) m = std::max(m, std::fabs(a[i]));
+    partial[static_cast<size_t>(i0 / kReduceGrain)] = m;
+  });
   float m = 0.f;
-  for (int64_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i]));
+  for (float p : partial) m = std::max(m, p);
   return m;
 }
 
 double SquaredNorm(const Matrix& a) {
-  double s = 0;
-  for (int64_t i = 0; i < a.size(); ++i) s += static_cast<double>(a[i]) * a[i];
-  return s;
+  return ParallelReduce(0, a.size(), kReduceGrain,
+                        [&](int64_t i0, int64_t i1) {
+                          double s = 0;
+                          for (int64_t i = i0; i < i1; ++i) {
+                            s += static_cast<double>(a[i]) * a[i];
+                          }
+                          return s;
+                        });
 }
 
 Matrix RowSum(const Matrix& a) {
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    double s = 0;
-    const float* row = a.row(r);
-    for (int64_t c = 0; c < a.cols(); ++c) s += row[c];
-    out[r] = static_cast<float>(s);
-  }
+  ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double s = 0;
+      const float* row = a.row(r);
+      for (int64_t c = 0; c < a.cols(); ++c) s += row[c];
+      out[r] = static_cast<float>(s);
+    }
+  });
   return out;
 }
 
@@ -188,25 +259,33 @@ Matrix RowMean(const Matrix& a) {
 
 Matrix RowNorm(const Matrix& a, float eps) {
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    double s = 0;
-    const float* row = a.row(r);
-    for (int64_t c = 0; c < a.cols(); ++c) s += static_cast<double>(row[c]) * row[c];
-    out[r] = std::max(eps, static_cast<float>(std::sqrt(s)));
-  }
+  ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      double s = 0;
+      const float* row = a.row(r);
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        s += static_cast<double>(row[c]) * row[c];
+      }
+      out[r] = std::max(eps, static_cast<float>(std::sqrt(s)));
+    }
+  });
   return out;
 }
 
 Matrix RowDot(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b));
   Matrix out(a.rows(), 1);
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* ar = a.row(r);
-    const float* br = b.row(r);
-    double s = 0;
-    for (int64_t c = 0; c < a.cols(); ++c) s += static_cast<double>(ar[c]) * br[c];
-    out[r] = static_cast<float>(s);
-  }
+  ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* ar = a.row(r);
+      const float* br = b.row(r);
+      double s = 0;
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        s += static_cast<double>(ar[c]) * br[c];
+      }
+      out[r] = static_cast<float>(s);
+    }
+  });
   return out;
 }
 
@@ -221,9 +300,11 @@ Matrix RowCosine(const Matrix& a, const Matrix& b, float eps) {
 
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) out.at(c, r) = a.at(r, c);
-  }
+  ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      for (int64_t c = 0; c < a.cols(); ++c) out.at(c, r) = a.at(r, c);
+    }
+  });
   return out;
 }
 
@@ -265,11 +346,15 @@ Matrix SliceRows(const Matrix& a, int64_t start, int64_t len) {
 
 Matrix GatherRows(const Matrix& a, const std::vector<int32_t>& idx) {
   Matrix out(static_cast<int64_t>(idx.size()), a.cols());
-  for (size_t i = 0; i < idx.size(); ++i) {
-    GA_DCHECK(idx[i] >= 0 && idx[i] < a.rows());
-    std::copy(a.row(idx[i]), a.row(idx[i]) + a.cols(),
-              out.row(static_cast<int64_t>(i)));
-  }
+  const int64_t n = static_cast<int64_t>(idx.size());
+  ParallelFor(0, n, RowGrain(a.cols()), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      GA_DCHECK(idx[static_cast<size_t>(i)] >= 0 &&
+                idx[static_cast<size_t>(i)] < a.rows());
+      std::copy(a.row(idx[static_cast<size_t>(i)]),
+                a.row(idx[static_cast<size_t>(i)]) + a.cols(), out.row(i));
+    }
+  });
   return out;
 }
 
@@ -277,6 +362,7 @@ void ScatterAddRows(const Matrix& src, const std::vector<int32_t>& idx,
                     Matrix* out) {
   GA_CHECK_EQ(src.rows(), static_cast<int64_t>(idx.size()));
   GA_CHECK_EQ(src.cols(), out->cols());
+  // Serial: idx may contain duplicates, so rows of `out` are not disjoint.
   for (size_t i = 0; i < idx.size(); ++i) {
     const float* srow = src.row(static_cast<int64_t>(i));
     float* orow = out->row(idx[i]);

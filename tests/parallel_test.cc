@@ -1,0 +1,377 @@
+// Tests for the shared parallel runtime (common/parallel.h) and the
+// determinism contract of every parallelized kernel: pool stress, static
+// chunking coverage, and exact bitwise equality of serial vs. parallel
+// Gemm / Spmm / SpmmT / EdgeWeightedSpmm / evaluator outputs at 1, 2, and
+// 7 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "common/parallel.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "graph/bipartite_graph.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace graphaug {
+namespace {
+
+/// Every determinism test runs the kernel at these widths; 7 is prime and
+/// larger than the chunk count of some kernels, exercising the
+/// more-runners-than-chunks clamp.
+const int kThreadCounts[] = {1, 2, 7};
+
+/// Restores automatic thread-count resolution when a test exits.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(),
+                      sizeof(float) * static_cast<size_t>(a.size())) == 0);
+}
+
+/// Random bipartite graph (not the latent-factor generator — this is the
+/// kernel substrate, structure does not matter, only the pattern shape).
+BipartiteGraph RandomGraph(int32_t users, int32_t items, int64_t edges,
+                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> es;
+  es.reserve(edges);
+  for (int64_t i = 0; i < edges; ++i) {
+    es.push_back({static_cast<int32_t>(rng.UniformInt(users)),
+                  static_cast<int32_t>(rng.UniformInt(items))});
+  }
+  return BipartiteGraph(users, items, std::move(es));
+}
+
+// ------------------------------------------------------------- pool stress
+
+TEST(ThreadPoolStressTest, NestedSubmitWaitAndReuse) {
+  ThreadPool pool(4);
+  // Wait on an empty pool returns immediately.
+  pool.Wait();
+
+  // Tasks that submit more tasks; Wait must cover the whole tree.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      for (int j = 0; j < 4; ++j) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 8 * 5);
+
+  // The pool stays usable after a drained Wait.
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> more{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&more] { more.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(more.load(), 16);
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForCoversRangeInChunks) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(57);
+  pool.ParallelFor(57, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolStressTest, ParallelForRangeStaticChunks) {
+  ThreadPool pool(4);
+  // grain 10 over [3, 47) must yield chunk starts 3, 13, 23, 33, 43
+  // regardless of the pool width.
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  pool.ParallelForRange(3, 47, 10, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.push_back({b, e});
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 5u);
+  EXPECT_EQ(chunks.front().first, 3);
+  EXPECT_EQ(chunks.back().second, 47);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].second, chunks[i + 1].first);
+    EXPECT_EQ(chunks[i].second - chunks[i].first, 10);
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.ParallelForRange(0, 8, 1, [&](int64_t, int64_t) {
+    EXPECT_TRUE(ThreadPool::InWorker());
+    // A nested range must not deadlock; it runs inline on this worker.
+    pool.ParallelForRange(0, 4, 1,
+                          [&](int64_t, int64_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+// --------------------------------------------------------- runtime basics
+
+TEST(ParallelRuntimeTest, ThreadCountResolutionOrder) {
+  ThreadCountGuard guard;
+  SetNumThreads(5);
+  EXPECT_EQ(NumThreads(), 5);
+  SetNumThreads(0);  // back to env / hardware resolution
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST(ParallelRuntimeTest, ParallelForCoversEveryIndexOnce) {
+  ThreadCountGuard guard;
+  for (int t : kThreadCounts) {
+    SetNumThreads(t);
+    std::vector<std::atomic<int>> hits(1000);
+    ParallelFor(0, 1000, 7, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelRuntimeTest, ParallelReduceIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  std::vector<double> vals(100000);
+  Rng rng(3);
+  for (double& v : vals) v = rng.Gaussian() * 1e-3;
+  std::vector<double> results;
+  for (int t : kThreadCounts) {
+    SetNumThreads(t);
+    results.push_back(ParallelReduce(0, static_cast<int64_t>(vals.size()), 997,
+                                     [&](int64_t b, int64_t e) {
+                                       double s = 0;
+                                       for (int64_t i = b; i < e; ++i) {
+                                         s += vals[static_cast<size_t>(i)];
+                                       }
+                                       return s;
+                                     }));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0], results[i]);  // bitwise: deterministic merge order
+  }
+}
+
+// ------------------------------------------------- kernel bitwise equality
+
+TEST(ParallelKernelsTest, GemmBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(11);
+  // Tall enough that every transpose combination spans several chunks.
+  Matrix a(193, 67), b(67, 141), at(67, 193), bt(141, 67);
+  InitNormal(&a, &rng);
+  InitNormal(&b, &rng);
+  InitNormal(&at, &rng);
+  InitNormal(&bt, &rng);
+  struct Case {
+    const Matrix *a, *b;
+    bool ta, tb;
+  };
+  const Case cases[] = {
+      {&a, &b, false, false},
+      {&at, &b, true, false},
+      {&a, &bt, false, true},
+      {&at, &bt, true, true},
+  };
+  for (const Case& c : cases) {
+    SetNumThreads(1);
+    Matrix ref;
+    Gemm(*c.a, c.ta, *c.b, c.tb, 1.3f, 0.f, &ref);
+    for (int t : kThreadCounts) {
+      SetNumThreads(t);
+      Matrix out;
+      Gemm(*c.a, c.ta, *c.b, c.tb, 1.3f, 0.f, &out);
+      EXPECT_TRUE(BitwiseEqual(ref, out))
+          << "ta=" << c.ta << " tb=" << c.tb << " threads=" << t;
+    }
+  }
+}
+
+TEST(ParallelKernelsTest, SpmmAndSpmmTBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  BipartiteGraph g = RandomGraph(257, 181, 4000, 5);
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng(6);
+  Matrix h(g.num_nodes(), 24);
+  InitNormal(&h, &rng);
+
+  SetNumThreads(1);
+  Matrix ref_fwd, ref_bwd;
+  adj.matrix.Spmm(h, &ref_fwd);
+  adj.matrix.SpmmT(h, &ref_bwd);
+  for (int t : kThreadCounts) {
+    SetNumThreads(t);
+    Matrix fwd, bwd;
+    adj.matrix.Spmm(h, &fwd);
+    adj.matrix.SpmmT(h, &bwd);
+    EXPECT_TRUE(BitwiseEqual(ref_fwd, fwd)) << "threads=" << t;
+    EXPECT_TRUE(BitwiseEqual(ref_bwd, bwd)) << "threads=" << t;
+  }
+
+  // Cross-check the cached-transpose gather against the explicit
+  // transposed matrix product (same math, independent code path).
+  Matrix via_transpose;
+  adj.matrix.Transpose().Spmm(h, &via_transpose);
+  EXPECT_TRUE(AllClose(ref_bwd, via_transpose, 1e-5f, 1e-6f));
+
+  // WithValues shares the pattern cache; products must use the new values.
+  std::vector<float> doubled = adj.matrix.values();
+  for (float& v : doubled) v *= 2.f;
+  CsrMatrix scaled = adj.matrix.WithValues(doubled);
+  Matrix scaled_bwd;
+  scaled.SpmmT(h, &scaled_bwd);
+  EXPECT_TRUE(AllClose(scaled_bwd, Scale(ref_bwd, 2.f), 1e-5f, 1e-6f));
+}
+
+TEST(ParallelKernelsTest, EdgeWeightedSpmmBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  BipartiteGraph g = RandomGraph(97, 83, 1200, 7);
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng(8);
+  Matrix h(g.num_nodes(), 12), w(g.num_edges(), 1);
+  InitNormal(&h, &rng);
+  for (int64_t i = 0; i < w.size(); ++i) w[i] = 0.5f + 0.1f * (i % 7);
+
+  auto run = [&](Matrix* out, Matrix* gw, Matrix* gh) {
+    ParamStore store;
+    Parameter* wp = store.Create("w", w.rows(), 1);
+    wp->value = w;
+    Parameter* hp = store.Create("h", h.rows(), h.cols());
+    hp->value = h;
+    wp->ZeroGrad();
+    hp->ZeroGrad();
+    Tape tape;
+    Var y = ag::EdgeWeightedSpmm(&adj, ag::Leaf(&tape, wp),
+                                 ag::Leaf(&tape, hp));
+    *out = y.value();
+    tape.Backward(ag::MeanAll(ag::Square(y)));
+    *gw = wp->grad;
+    *gh = hp->grad;
+  };
+
+  SetNumThreads(1);
+  Matrix ref_out, ref_gw, ref_gh;
+  run(&ref_out, &ref_gw, &ref_gh);
+  for (int t : kThreadCounts) {
+    SetNumThreads(t);
+    Matrix out, gw, gh;
+    run(&out, &gw, &gh);
+    EXPECT_TRUE(BitwiseEqual(ref_out, out)) << "threads=" << t;
+    EXPECT_TRUE(BitwiseEqual(ref_gw, gw)) << "threads=" << t;
+    EXPECT_TRUE(BitwiseEqual(ref_gh, gh)) << "threads=" << t;
+  }
+}
+
+TEST(ParallelKernelsTest, EdgeWeightedSpmmGradCheckUnderParallelRuntime) {
+  // Finite-difference check of the edge-value gradient kernel while the
+  // runtime dispatches to 7 threads: proves the two-pass dw accumulation
+  // and the transpose-gather dh are race-free, not just reproducible.
+  ThreadCountGuard guard;
+  SetNumThreads(7);
+  BipartiteGraph g(3, 2, {{0, 0}, {0, 1}, {1, 0}, {2, 1}});
+  NormalizedAdjacency adj = g.BuildNormalizedAdjacency(1.f);
+  Rng rng(9);
+  ParamStore store;
+  Parameter* w = store.CreateNormal("w", g.num_edges(), 1, &rng, 0.3f);
+  for (int64_t i = 0; i < w->value.size(); ++i) {
+    w->value[i] = 0.5f + std::fabs(w->value[i]);
+  }
+  Parameter* h = store.CreateNormal("h", g.num_nodes(), 3, &rng, 0.5f);
+  for (Parameter* target : {w, h}) {
+    GradCheckResult res = CheckGradient(target, [&](Tape* t) {
+      return ag::MeanAll(ag::Square(
+          ag::EdgeWeightedSpmm(&adj, ag::Leaf(t, w), ag::Leaf(t, h))));
+    });
+    EXPECT_TRUE(res.ok) << res.max_abs_error;
+  }
+}
+
+TEST(ParallelKernelsTest, EvaluatorIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  // Enough evaluable users to span several 128-user ranking chunks.
+  SyntheticConfig cfg;
+  cfg.num_users = 400;
+  cfg.num_items = 180;
+  cfg.mean_user_degree = 10.0;
+  cfg.seed = 12;
+  const SyntheticData data = GenerateSynthetic(cfg);
+  Evaluator evaluator(&data.dataset, {5, 20});
+
+  Rng rng(13);
+  Matrix user_emb(data.dataset.num_users, 16);
+  Matrix item_emb(data.dataset.num_items, 16);
+  InitNormal(&user_emb, &rng);
+  InitNormal(&item_emb, &rng);
+  const auto scorer = [&](const std::vector<int32_t>& users) {
+    Matrix batch = GatherRows(user_emb, users);
+    Matrix scores;
+    Gemm(batch, false, item_emb, true, 1.f, 0.f, &scores);
+    return scores;
+  };
+
+  SetNumThreads(1);
+  const TopKMetrics ref = evaluator.Evaluate(scorer);
+  ASSERT_GT(ref.num_users, 256);  // spans > 2 chunks
+  for (int t : kThreadCounts) {
+    SetNumThreads(t);
+    const TopKMetrics m = evaluator.Evaluate(scorer);
+    EXPECT_EQ(ref.num_users, m.num_users);
+    for (size_t ki = 0; ki < ref.ks.size(); ++ki) {
+      // Exact double equality: partials merge in user order.
+      EXPECT_EQ(ref.recall[ki], m.recall[ki]) << "threads=" << t;
+      EXPECT_EQ(ref.ndcg[ki], m.ndcg[ki]) << "threads=" << t;
+      EXPECT_EQ(ref.precision[ki], m.precision[ki]) << "threads=" << t;
+      EXPECT_EQ(ref.hit_rate[ki], m.hit_rate[ki]) << "threads=" << t;
+      EXPECT_EQ(ref.map[ki], m.map[ki]) << "threads=" << t;
+      EXPECT_EQ(ref.mrr[ki], m.mrr[ki]) << "threads=" << t;
+    }
+  }
+}
+
+TEST(ParallelKernelsTest, ElementwiseAndReductionsIdentical) {
+  ThreadCountGuard guard;
+  Rng rng(17);
+  Matrix a(700, 90), b(700, 90);
+  InitNormal(&a, &rng);
+  InitNormal(&b, &rng);
+
+  SetNumThreads(1);
+  const Matrix ref_add = Add(a, b);
+  const Matrix ref_mul = Mul(a, b);
+  const double ref_sum = SumAll(a);
+  const double ref_sq = SquaredNorm(a);
+  const float ref_max = MaxAbs(a);
+  const Matrix ref_rowsum = RowSum(a);
+  for (int t : kThreadCounts) {
+    SetNumThreads(t);
+    EXPECT_TRUE(BitwiseEqual(ref_add, Add(a, b))) << t;
+    EXPECT_TRUE(BitwiseEqual(ref_mul, Mul(a, b))) << t;
+    EXPECT_EQ(ref_sum, SumAll(a)) << t;
+    EXPECT_EQ(ref_sq, SquaredNorm(a)) << t;
+    EXPECT_EQ(ref_max, MaxAbs(a)) << t;
+    EXPECT_TRUE(BitwiseEqual(ref_rowsum, RowSum(a))) << t;
+  }
+}
+
+}  // namespace
+}  // namespace graphaug

@@ -23,6 +23,7 @@
 #include "autograd/serialize.h"
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/graphaug.h"
 #include "data/io.h"
@@ -45,7 +46,11 @@ int Usage() {
       "            [--dim=N] [--layers=N] [--lr=F] [--checkpoint=FILE]\n"
       "  recommend --dataset=FILE|--preset=NAME --checkpoint=FILE\n"
       "            [--model=NAME] [--user=N] [--topk=N]\n"
-      "  denoise   --dataset=FILE|--preset=NAME [--epochs=N] [--budget=F]\n");
+      "  denoise   --dataset=FILE|--preset=NAME [--epochs=N] [--budget=F]\n"
+      "common flags:\n"
+      "  --threads=N  worker threads for the parallel runtime (0 = auto;\n"
+      "               overrides GRAPHAUG_NUM_THREADS). Output is identical\n"
+      "               at any thread count.\n");
   return 2;
 }
 
@@ -236,6 +241,12 @@ int CmdDenoise(const FlagParser& flags) {
 int Main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   if (flags.positional().empty()) return Usage();
+  // --threads=N caps the shared parallel runtime for every subcommand
+  // (0 = auto: GRAPHAUG_NUM_THREADS env var, then hardware concurrency).
+  // Results are identical at any setting; only wall-clock changes.
+  if (flags.Has("threads")) {
+    SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  }
   const std::string& cmd = flags.positional()[0];
   int rc;
   if (cmd == "generate") {

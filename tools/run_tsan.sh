@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the concurrency-sensitive
+# tests (the parallel runtime stress tests plus the CSR/transpose-cache
+# tests) under TSan. Any data race aborts the run (halt_on_error=1).
+#
+# Usage: tools/run_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan --target parallel_test graph_test -j "$(nproc)"
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir build-tsan --output-on-failure \
+        -R '^(parallel_test|graph_test)$' "$@"
+
+echo "tsan: parallel_test + graph_test clean"
