@@ -1,8 +1,11 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <map>
+#include <thread>
 
 namespace graphaug::bench {
 
@@ -92,6 +95,44 @@ GraphAugConfig MakeGraphAugConfig(const BenchSettings& settings,
     cfg.gib_pred_weight = 1.0f;
   }
   return cfg;
+}
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  env.hardware_concurrency =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  env.git_sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string sha(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+      if (!sha.empty()) env.git_sha = sha;
+    }
+    pclose(p);
+  }
+
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    char ts[32];
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    env.timestamp_utc = ts;
+  }
+  return env;
+}
+
+std::string BenchEnvJsonFields(const BenchEnv& env, int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string out;
+  out += pad + "\"hardware_concurrency\": " +
+         std::to_string(env.hardware_concurrency) + ",\n";
+  out += pad + "\"git_sha\": \"" + env.git_sha + "\",\n";
+  out += pad + "\"timestamp_utc\": \"" + env.timestamp_utc + "\",\n";
+  return out;
 }
 
 void PrintBanner(const std::string& experiment,

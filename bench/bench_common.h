@@ -62,6 +62,21 @@ GraphAugConfig MakeGraphAugConfig(const BenchSettings& settings,
 void PrintBanner(const std::string& experiment,
                  const std::string& description);
 
+/// Machine/build provenance stamped into every BENCH_*.json so results
+/// from different machines or commits are never silently compared.
+struct BenchEnv {
+  unsigned hardware_concurrency = 1;  ///< std::thread::hardware_concurrency()
+  std::string git_sha;        ///< short HEAD sha, "unknown" off a checkout
+  std::string timestamp_utc;  ///< ISO-8601 UTC, e.g. "2026-08-05T12:34:56Z"
+};
+
+/// Probes the environment once per call (cheap: one fork for git).
+BenchEnv GetBenchEnv();
+
+/// Renders the env as `"key": value,` JSON lines (trailing comma on every
+/// line) indented by `indent` spaces, for splicing into a JSON header.
+std::string BenchEnvJsonFields(const BenchEnv& env, int indent);
+
 }  // namespace graphaug::bench
 
 #endif  // GRAPHAUG_BENCH_BENCH_COMMON_H_

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "bench/bench_common.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -156,6 +157,10 @@ struct KernelCase {
   std::string shape;
   double work = 0;  ///< approximate flops (or scored entries) per run
   std::function<Matrix()> run;
+  /// When non-empty, a "notes" field is emitted after the runs array:
+  /// the implied Amdahl serial fraction computed from the measured
+  /// timings, followed by this attribution text (plain ASCII, no quotes).
+  std::string attribution;
 };
 
 /// Yelp-scale synthetic adjacency (the paper's largest benchmark: ~42.7K
@@ -188,11 +193,13 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
     cases.push_back(
         {"gemm_nn", std::to_string(m) + "x" + std::to_string(k) + "x" +
                         std::to_string(n),
-         2.0 * static_cast<double>(m) * k * n, [a, b] {
+         2.0 * static_cast<double>(m) * k * n,
+         [a, b] {
            Matrix out;
            Gemm(*a, false, *b, false, 1.f, 0.f, &out);
            return out;
-         }});
+         },
+         ""});
   }
 
   // SpMM / SpmmT over the Yelp-scale normalized adjacency, d = 64.
@@ -217,16 +224,25 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
     const std::string shape = std::to_string(adj->matrix.nnz()) + "nnz_x" +
                               std::to_string(d);
     const double work = 2.0 * static_cast<double>(adj->matrix.nnz()) * d;
-    cases.push_back({"spmm", shape, work, [adj, h] {
+    cases.push_back({"spmm", shape, work,
+                     [adj, h] {
                        Matrix out;
                        adj->matrix.Spmm(*h, &out);
                        return out;
-                     }});
-    cases.push_back({"spmm_t", shape, work, [adj, h] {
-                       Matrix out;
-                       adj->matrix.SpmmT(*h, &out);
-                       return out;
-                     }});
+                     },
+                     ""});
+    cases.push_back(
+        {"spmm_t", shape, work,
+         [adj, h] {
+           Matrix out;
+           adj->matrix.SpmmT(*h, &out);
+           return out;
+         },
+         "spmm_t is memory-bandwidth-bound: the transpose gather reads "
+         "values_[src[k]] and dense rows through two levels of indirection "
+         "with no locality, so added threads contend for bandwidth instead "
+         "of adding throughput; s > 1 means the parallel path is net slower "
+         "than serial (pure overhead, not a serial region)."});
 
     // Edge-weighted SpMM forward + backward (the GraphAug training step's
     // differentiable propagation), d = 32.
@@ -253,7 +269,8 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
            out[0] = static_cast<float>(SumAll(wp->grad));
            out[1] = static_cast<float>(SumAll(hp->grad));
            return out;
-         }});
+         },
+         ""});
   }
 
   // Large elementwise op (8M elements).
@@ -266,7 +283,7 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
     InitNormal(b.get(), &rng);
     cases.push_back({"elementwise_add", std::to_string(n),
                      static_cast<double>(n),
-                     [a, b] { return Add(*a, *b); }});
+                     [a, b] { return Add(*a, *b); }, ""});
   }
 
   // Full-ranking evaluation: score + mask + top-K + metrics over every
@@ -304,7 +321,8 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
            out[0] = static_cast<float>(m.recall[0]);
            out[1] = static_cast<float>(m.ndcg[1]);
            return out;
-         }});
+         },
+         ""});
   }
   return cases;
 }
@@ -334,9 +352,14 @@ int RunKernelBaseline(const FlagParser& flags) {
     return 1;
   }
   std::vector<KernelCase> cases = BuildKernelCases(fast);
+  const bench::BenchEnv env = bench::GetBenchEnv();
   std::fprintf(f, "{\n  \"generated_by\": \"bench_micro_kernels\",\n");
   std::fprintf(f, "  \"fast_mode\": %s,\n", fast ? "true" : "false");
-  std::fprintf(f, "  \"hardware_concurrency\": %d,\n  \"kernels\": [\n", hw);
+  // hardware_concurrency is the machine's real core count; threads_resolved
+  // is the pool width the sweep actually used (GRAPHAUG_NUM_THREADS can
+  // narrow it, which used to masquerade as the hardware value here).
+  std::fprintf(f, "%s", bench::BenchEnvJsonFields(env, 2).c_str());
+  std::fprintf(f, "  \"threads_resolved\": %d,\n  \"kernels\": [\n", hw);
 
   for (size_t ci = 0; ci < cases.size(); ++ci) {
     const KernelCase& kc = cases[ci];
@@ -348,6 +371,7 @@ int RunKernelBaseline(const FlagParser& flags) {
                  "     \"runs\": [\n",
                  kc.name.c_str(), kc.shape.c_str(), kc.work);
     double serial_seconds = 0;
+    std::vector<double> best_seconds;
     for (size_t ti = 0; ti < counts.size(); ++ti) {
       SetNumThreads(counts[ti]);
       Matrix out = kc.run();  // warmup (also populates lazy caches)
@@ -357,6 +381,7 @@ int RunKernelBaseline(const FlagParser& flags) {
         out = kc.run();
         best = std::min(best, sw.ElapsedSeconds());
       }
+      best_seconds.push_back(best);
       bool bitwise = true;
       if (ti == 0) {
         reference = out;
@@ -382,7 +407,27 @@ int RunKernelBaseline(const FlagParser& flags) {
         return 1;
       }
     }
-    std::fprintf(f, "    ]}%s\n", ci + 1 < cases.size() ? "," : "");
+    std::fprintf(f, "    ]");
+    if (!kc.attribution.empty()) {
+      // Implied Amdahl serial fraction from the measured timings:
+      //   s(p) = (T_p/T_1 - 1/p) / (1 - 1/p)
+      // solved from T_p = T_1 * (s + (1 - s)/p) at each thread count.
+      std::string fractions;
+      for (size_t ti = 1; ti < counts.size(); ++ti) {
+        const double p = counts[ti];
+        const double s =
+            (best_seconds[ti] / serial_seconds - 1.0 / p) / (1.0 - 1.0 / p);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%ss(%d)=%.2f",
+                      ti > 1 ? ", " : "", counts[ti], s);
+        fractions += buf;
+      }
+      std::fprintf(f,
+                   ",\n     \"notes\": \"implied Amdahl serial fraction "
+                   "s(p) = (T_p/T_1 - 1/p) / (1 - 1/p): %s. %s\"",
+                   fractions.c_str(), kc.attribution.c_str());
+    }
+    std::fprintf(f, "}%s\n", ci + 1 < cases.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

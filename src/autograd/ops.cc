@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/autograd_profiler.h"
 #include "tensor/ops.h"
 
 namespace graphaug::ag {
@@ -21,10 +22,13 @@ int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
 }
 
 /// Emits a unary elementwise op with derivative expressed in terms of the
-/// *input* value x and the *output* value y.
-Var UnaryOp(Var a, const std::function<float(float)>& fwd,
+/// *input* value x and the *output* value y. `name` must be a string
+/// literal; it labels the op for the autograd profiler.
+Var UnaryOp(const char* name, Var a, const std::function<float(float)>& fwd,
             const std::function<float(float, float)>& dydx) {
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP(name, n, 8 * n);
   Matrix y = Map(a.value(), fwd);
   const int aid = a.id();
   const bool ng = t->NeedsGrad(aid);
@@ -48,6 +52,8 @@ Var Constant(Tape* tape, Matrix value) {
 
 Var Add(Var a, Var b) {
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP("Add", n, 12 * n);
   const int aid = a.id(), bid = b.id();
   const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
   return t->Emit(graphaug::Add(a.value(), b.value()), ng,
@@ -59,6 +65,8 @@ Var Add(Var a, Var b) {
 
 Var Sub(Var a, Var b) {
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP("Sub", n, 12 * n);
   const int aid = a.id(), bid = b.id();
   const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
   return t->Emit(graphaug::Sub(a.value(), b.value()), ng,
@@ -70,6 +78,8 @@ Var Sub(Var a, Var b) {
 
 Var Mul(Var a, Var b) {
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP("Mul", n, 12 * n);
   const int aid = a.id(), bid = b.id();
   const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
   return t->Emit(graphaug::Mul(a.value(), b.value()), ng,
@@ -83,6 +93,8 @@ Var Neg(Var a) { return Scale(a, -1.f); }
 
 Var Scale(Var a, float s) {
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP("Scale", n, 8 * n);
   const int aid = a.id();
   return t->Emit(graphaug::Scale(a.value(), s), t->NeedsGrad(aid),
                  [aid, s](Tape* t, const Matrix& up) {
@@ -92,6 +104,8 @@ Var Scale(Var a, float s) {
 
 Var AddScalar(Var a, float s) {
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP("AddScalar", n, 8 * n);
   const int aid = a.id();
   return t->Emit(Map(a.value(), [s](float x) { return x + s; }),
                  t->NeedsGrad(aid), [aid](Tape* t, const Matrix& up) {
@@ -104,14 +118,14 @@ Var Sigmoid(Var a) {
     return x >= 0 ? 1.f / (1.f + std::exp(-x))
                   : std::exp(x) / (1.f + std::exp(x));
   };
-  return UnaryOp(a, stable_sigmoid, [stable_sigmoid](float x, float) {
+  return UnaryOp("Sigmoid", a, stable_sigmoid, [stable_sigmoid](float x, float) {
     const float s = stable_sigmoid(x);
     return s * (1.f - s);
   });
 }
 
 Var Tanh(Var a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); },
+  return UnaryOp("Tanh", a, [](float x) { return std::tanh(x); },
                  [](float x, float) {
                    const float th = std::tanh(x);
                    return 1.f - th * th;
@@ -119,27 +133,27 @@ Var Tanh(Var a) {
 }
 
 Var Relu(Var a) {
-  return UnaryOp(a, [](float x) { return x > 0 ? x : 0.f; },
+  return UnaryOp("Relu", a, [](float x) { return x > 0 ? x : 0.f; },
                  [](float x, float) { return x > 0 ? 1.f : 0.f; });
 }
 
 Var LeakyRelu(Var a, float slope) {
-  return UnaryOp(a, [slope](float x) { return x > 0 ? x : slope * x; },
+  return UnaryOp("LeakyRelu", a, [slope](float x) { return x > 0 ? x : slope * x; },
                  [slope](float x, float) { return x > 0 ? 1.f : slope; });
 }
 
 Var Exp(Var a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); },
+  return UnaryOp("Exp", a, [](float x) { return std::exp(x); },
                  [](float x, float) { return std::exp(x); });
 }
 
 Var Log(Var a, float eps) {
-  return UnaryOp(a, [eps](float x) { return std::log(x + eps); },
+  return UnaryOp("Log", a, [eps](float x) { return std::log(x + eps); },
                  [eps](float x, float) { return 1.f / (x + eps); });
 }
 
 Var Softplus(Var a) {
-  return UnaryOp(a,
+  return UnaryOp("Softplus", a,
                  [](float x) {
                    // Stable: softplus(x) = max(x,0) + log1p(exp(-|x|)).
                    return std::max(x, 0.f) + std::log1p(std::exp(-std::fabs(x)));
@@ -151,7 +165,7 @@ Var Softplus(Var a) {
 }
 
 Var Square(Var a) {
-  return UnaryOp(a, [](float x) { return x * x; },
+  return UnaryOp("Square", a, [](float x) { return x * x; },
                  [](float x, float) { return 2.f * x; });
 }
 
@@ -159,6 +173,8 @@ Var Dropout(Var a, float p, Rng* rng) {
   if (p <= 0.f) return a;
   GA_CHECK_LT(p, 1.f);
   Tape* t = a.tape();
+  const double n = static_cast<double>(a.value().size());
+  GA_AG_OP("Dropout", n, 8 * n);
   const int aid = a.id();
   const float scale = 1.f / (1.f - p);
   auto mask = std::make_shared<std::vector<float>>(a.value().size());
@@ -181,6 +197,11 @@ Var Dropout(Var a, float p, Rng* rng) {
 Var MatMul(Var a, Var b, bool trans_a, bool trans_b) {
   Tape* t = a.tape();
   const int aid = a.id(), bid = b.id();
+  // 2*m*k*n multiply-adds; bytes = the three operand matrices once each.
+  const double k = static_cast<double>(trans_a ? a.rows() : a.cols());
+  const double m = static_cast<double>(trans_a ? a.cols() : a.rows());
+  const double nn = static_cast<double>(trans_b ? b.rows() : b.cols());
+  GA_AG_OP("MatMul", 2 * m * k * nn, 4 * (m * k + k * nn + m * nn));
   Matrix y;
   Gemm(a.value(), trans_a, b.value(), trans_b, 1.f, 0.f, &y);
   const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
@@ -216,6 +237,10 @@ Var MatMul(Var a, Var b, bool trans_a, bool trans_b) {
 Var Spmm(const CsrMatrix* csr, Var dense) {
   Tape* t = dense.tape();
   const int did = dense.id();
+  const double d = static_cast<double>(dense.cols());
+  const double nnz = static_cast<double>(csr->nnz());
+  GA_AG_OP("Spmm", 2 * nnz * d,
+           8 * nnz + 4 * d * (csr->rows() + csr->cols()));
   Matrix y;
   csr->Spmm(dense.value(), &y);
   return t->Emit(std::move(y), t->NeedsGrad(did),
@@ -229,6 +254,10 @@ Var Spmm(const CsrMatrix* csr, Var dense) {
 Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
   Tape* t = dense.tape();
   const int wid = edge_w.id(), did = dense.id();
+  const double fd = static_cast<double>(dense.cols());
+  const double fnnz = static_cast<double>(adj->matrix.nnz());
+  GA_AG_OP("EdgeWeightedSpmm", 2 * fnnz * fd,
+           12 * fnnz + 4 * fd * (adj->matrix.rows() + adj->matrix.cols()));
   const CsrMatrix& m = adj->matrix;
   GA_CHECK_EQ(edge_w.cols(), 1);
   const Matrix& w = edge_w.value();
@@ -325,6 +354,8 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
 Var GatherRows(Var a, std::vector<int32_t> idx) {
   Tape* t = a.tape();
   const int aid = a.id();
+  GA_AG_OP("GatherRows", 0,
+           8.0 * static_cast<double>(idx.size()) * a.cols());
   Matrix y = graphaug::GatherRows(a.value(), idx);
   auto idx_ptr = std::make_shared<std::vector<int32_t>>(std::move(idx));
   return t->Emit(std::move(y), t->NeedsGrad(aid),
@@ -338,6 +369,8 @@ Var GatherRows(Var a, std::vector<int32_t> idx) {
 
 Var ConcatCols(Var a, Var b) {
   Tape* t = a.tape();
+  GA_AG_OP("ConcatCols", 0,
+           8.0 * static_cast<double>(a.value().size() + b.value().size()));
   const int aid = a.id(), bid = b.id();
   const int64_t ac = a.cols();
   const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
@@ -351,6 +384,7 @@ Var ConcatCols(Var a, Var b) {
 
 Var SliceCols(Var a, int64_t start, int64_t len) {
   Tape* t = a.tape();
+  GA_AG_OP("SliceCols", 0, 8.0 * static_cast<double>(a.rows() * len));
   const int aid = a.id();
   return t->Emit(graphaug::SliceCols(a.value(), start, len),
                  t->NeedsGrad(aid),
@@ -366,6 +400,8 @@ Var SliceCols(Var a, int64_t start, int64_t len) {
 
 Var AddRowBroadcast(Var a, Var row) {
   Tape* t = a.tape();
+  GA_AG_OP("AddRowBroadcast", static_cast<double>(a.value().size()),
+           8.0 * static_cast<double>(a.value().size()));
   GA_CHECK_EQ(row.rows(), 1);
   GA_CHECK_EQ(row.cols(), a.cols());
   const int aid = a.id(), rid = row.id();
@@ -388,6 +424,8 @@ Var AddRowBroadcast(Var a, Var row) {
 
 Var MulRowBroadcast(Var a, Var row) {
   Tape* t = a.tape();
+  GA_AG_OP("MulRowBroadcast", static_cast<double>(a.value().size()),
+           8.0 * static_cast<double>(a.value().size()));
   GA_CHECK_EQ(row.rows(), 1);
   GA_CHECK_EQ(row.cols(), a.cols());
   const int aid = a.id(), rid = row.id();
@@ -422,6 +460,8 @@ Var MulRowBroadcast(Var a, Var row) {
 
 Var MulColBroadcast(Var a, Var col) {
   Tape* t = a.tape();
+  GA_AG_OP("MulColBroadcast", static_cast<double>(a.value().size()),
+           8.0 * static_cast<double>(a.value().size()));
   GA_CHECK_EQ(col.cols(), 1);
   GA_CHECK_EQ(col.rows(), a.rows());
   const int aid = a.id(), cid = col.id();
@@ -458,6 +498,8 @@ Var MulColBroadcast(Var a, Var col) {
 
 Var MeanAll(Var a) {
   Tape* t = a.tape();
+  GA_AG_OP("MeanAll", static_cast<double>(a.value().size()),
+           4.0 * static_cast<double>(a.value().size()));
   const int aid = a.id();
   const float inv = a.value().size() > 0
                         ? 1.f / static_cast<float>(a.value().size())
@@ -473,6 +515,8 @@ Var MeanAll(Var a) {
 
 Var SumAll(Var a) {
   Tape* t = a.tape();
+  GA_AG_OP("SumAll", static_cast<double>(a.value().size()),
+           4.0 * static_cast<double>(a.value().size()));
   const int aid = a.id();
   Matrix y(1, 1, static_cast<float>(graphaug::SumAll(a.value())));
   return t->Emit(std::move(y), t->NeedsGrad(aid),
@@ -485,6 +529,8 @@ Var SumAll(Var a) {
 
 Var RowSum(Var a) {
   Tape* t = a.tape();
+  GA_AG_OP("RowSum", static_cast<double>(a.value().size()),
+           4.0 * static_cast<double>(a.value().size()));
   const int aid = a.id();
   return t->Emit(graphaug::RowSum(a.value()), t->NeedsGrad(aid),
                  [aid](Tape* t, const Matrix& up) {
@@ -500,6 +546,8 @@ Var RowSum(Var a) {
 
 Var RowDot(Var a, Var b) {
   Tape* t = a.tape();
+  GA_AG_OP("RowDot", 2.0 * static_cast<double>(a.value().size()),
+           8.0 * static_cast<double>(a.value().size()));
   const int aid = a.id(), bid = b.id();
   const bool ng = t->NeedsGrad(aid) || t->NeedsGrad(bid);
   return t->Emit(graphaug::RowDot(a.value(), b.value()), ng,
@@ -525,6 +573,8 @@ Var RowDot(Var a, Var b) {
 
 Var LogSumExpRows(Var a) {
   Tape* t = a.tape();
+  GA_AG_OP("LogSumExpRows", 3.0 * static_cast<double>(a.value().size()),
+           4.0 * static_cast<double>(a.value().size()));
   const int aid = a.id();
   const Matrix& x = a.value();
   Matrix y(x.rows(), 1);
@@ -556,6 +606,8 @@ Var LogSumExpRows(Var a) {
 
 Var RowL2Normalize(Var a, float eps) {
   Tape* t = a.tape();
+  GA_AG_OP("RowL2Normalize", 3.0 * static_cast<double>(a.value().size()),
+           8.0 * static_cast<double>(a.value().size()));
   const int aid = a.id();
   const Matrix& x = a.value();
   Matrix norms = RowNorm(x, eps);

@@ -1,5 +1,7 @@
 #include "autograd/tape.h"
 
+#include "obs/autograd_profiler.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace graphaug {
@@ -9,6 +11,9 @@ Var Tape::Emit(Matrix value, bool needs_grad,
   Node node;
   node.value = std::move(value);
   node.backward = std::move(backward);
+#if GRAPHAUG_OBS_ENABLED
+  node.op = obs::ScopedOp::Current();
+#endif
   node.needs_grad = needs_grad;
   nodes_.push_back(std::move(node));
   return Var(this, static_cast<int>(nodes_.size()) - 1);
@@ -31,11 +36,23 @@ Var Tape::Constant(Matrix value) {
 void Tape::Backward(Var root) {
   GA_CHECK(root.valid() && root.tape() == this);
   GA_CHECK_EQ(ValueOf(root.id()).size(), 1) << "Backward root must be scalar";
+  GA_TRACE_SPAN("backward");
   AccumulateGrad(root.id(), Matrix(1, 1, 1.f));
+  // When profiling, time each node's backward closure under the op name
+  // captured at Emit time. The guard is hoisted so an unprofiled run pays
+  // only one branch per node.
+  const bool profile = obs::Enabled();
   for (int id = root.id(); id >= 0; --id) {
     Node& node = nodes_[static_cast<size_t>(id)];
     if (!node.has_grad || !node.needs_grad || !node.backward) continue;
-    node.backward(this, node.grad);
+    if (profile && node.op != nullptr) {
+      const int64_t t0 = obs::TraceClockNs();
+      node.backward(this, node.grad);
+      obs::AutogradProfiler::Get().RecordBackward(node.op,
+                                                  obs::TraceClockNs() - t0);
+    } else {
+      node.backward(this, node.grad);
+    }
   }
 }
 

@@ -1,13 +1,26 @@
 #include "common/logging.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 namespace graphaug {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+/// Initial level: GRAPHAUG_LOG_LEVEL when set and parseable, else kInfo —
+/// so the default behavior is unchanged for anyone not setting the env.
+int InitialLevel() {
+  if (const char* env = std::getenv("GRAPHAUG_LOG_LEVEL")) {
+    LogLevel level;
+    if (ParseLogLevel(env, &level)) return static_cast<int>(level);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_min_level{InitialLevel()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -31,6 +44,24 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (s == "info") {
+    *out = LogLevel::kInfo;
+  } else if (s == "warn" || s == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (s == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal_logging {

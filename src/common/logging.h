@@ -9,11 +9,19 @@ namespace graphaug {
 /// Severity levels for the lightweight logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets the global minimum severity that is emitted. Defaults to kInfo.
+/// Sets the global minimum severity that is emitted. Defaults to kInfo,
+/// or to GRAPHAUG_LOG_LEVEL from the environment ("debug" / "info" /
+/// "warn" / "error", case-insensitive) when set; an explicit SetLogLevel
+/// (e.g. from a --log-level flag) overrides the environment.
 void SetLogLevel(LogLevel level);
 
 /// Returns the current global minimum severity.
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// case-insensitive) into `out`. Returns false (out untouched) for
+/// anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
 
 namespace internal_logging {
 

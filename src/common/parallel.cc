@@ -1,6 +1,8 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
@@ -14,6 +16,19 @@ namespace {
 std::mutex g_mu;
 int g_requested = 0;            // 0 = resolve automatically
 ThreadPool* g_pool = nullptr;   // lazily built; width == resolved count
+
+std::atomic<int64_t> g_stat_pool_regions{0};
+std::atomic<int64_t> g_stat_serial_regions{0};
+std::atomic<int64_t> g_stat_pool_chunks{0};
+std::atomic<int64_t> g_stat_busy_ns{0};
+std::atomic<int64_t> g_stat_wall_ns{0};
+std::atomic<bool> g_stat_timing{false};
+
+int64_t StatClockNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 int ResolveLocked() {
   if (g_requested > 0) return g_requested;
@@ -56,6 +71,28 @@ void SetNumThreads(int n) {
 
 bool InParallelRegion() { return ThreadPool::InWorker(); }
 
+ParallelStats GetParallelStats() {
+  ParallelStats s;
+  s.pool_regions = g_stat_pool_regions.load(std::memory_order_relaxed);
+  s.serial_regions = g_stat_serial_regions.load(std::memory_order_relaxed);
+  s.pool_chunks = g_stat_pool_chunks.load(std::memory_order_relaxed);
+  s.busy_ns = g_stat_busy_ns.load(std::memory_order_relaxed);
+  s.wall_ns = g_stat_wall_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SetParallelStatsEnabled(bool enabled) {
+  g_stat_timing.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetParallelStats() {
+  g_stat_pool_regions.store(0, std::memory_order_relaxed);
+  g_stat_serial_regions.store(0, std::memory_order_relaxed);
+  g_stat_pool_chunks.store(0, std::memory_order_relaxed);
+  g_stat_busy_ns.store(0, std::memory_order_relaxed);
+  g_stat_wall_ns.store(0, std::memory_order_relaxed);
+}
+
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& fn) {
   const int64_t n = end - begin;
@@ -67,13 +104,28 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     pool = PoolLocked();
   }
   if (pool == nullptr) {
+    g_stat_serial_regions.fetch_add(1, std::memory_order_relaxed);
     // Same static chunk walk as the pool path, executed inline.
     for (int64_t b = begin; b < end; b += grain) {
       fn(b, std::min(end, b + grain));
     }
     return;
   }
-  pool->ParallelForRange(begin, end, grain, fn);
+  g_stat_pool_regions.fetch_add(1, std::memory_order_relaxed);
+  g_stat_pool_chunks.fetch_add((n + grain - 1) / grain,
+                               std::memory_order_relaxed);
+  if (!g_stat_timing.load(std::memory_order_relaxed)) {
+    pool->ParallelForRange(begin, end, grain, fn);
+    return;
+  }
+  const int64_t wall_start = StatClockNs();
+  pool->ParallelForRange(begin, end, grain, [&fn](int64_t b, int64_t e) {
+    const int64_t t0 = StatClockNs();
+    fn(b, e);
+    g_stat_busy_ns.fetch_add(StatClockNs() - t0, std::memory_order_relaxed);
+  });
+  g_stat_wall_ns.fetch_add(StatClockNs() - wall_start,
+                           std::memory_order_relaxed);
 }
 
 double ParallelReduce(

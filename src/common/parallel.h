@@ -53,6 +53,28 @@ double ParallelReduce(int64_t begin, int64_t end, int64_t grain,
 /// (i.e. it is a pool worker); nested ParallelFor calls run serially.
 bool InParallelRegion();
 
+/// Aggregate activity of the parallel runtime since the last
+/// ResetParallelStats. Region/chunk counts are always maintained (one
+/// relaxed atomic add per region); busy/wall timing is only collected
+/// while SetParallelStatsEnabled(true), since it adds a clock read per
+/// chunk. The observability layer (src/obs) pulls this at export time —
+/// the runtime itself never depends on obs.
+struct ParallelStats {
+  int64_t pool_regions = 0;    ///< regions dispatched to the thread pool
+  int64_t serial_regions = 0;  ///< regions that ran inline on the caller
+  int64_t pool_chunks = 0;     ///< chunks executed via the pool
+  int64_t busy_ns = 0;   ///< summed per-chunk execution time (timed mode)
+  int64_t wall_ns = 0;   ///< summed region wall time (timed mode)
+};
+
+ParallelStats GetParallelStats();
+
+/// Enables per-chunk busy/wall timing. Timing only observes the clock and
+/// never changes chunking, so results are unaffected.
+void SetParallelStatsEnabled(bool enabled);
+
+void ResetParallelStats();
+
 }  // namespace graphaug
 
 #endif  // GRAPHAUG_COMMON_PARALLEL_H_

@@ -1,6 +1,7 @@
 #include "core/graphaug.h"
 
 #include "models/debias.h"
+#include "obs/health.h"
 #include "tensor/ops.h"
 
 namespace graphaug {
@@ -78,6 +79,13 @@ Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
     loss = ag::BprLoss(pos_scores, neg_scores);
   }
 
+  // Loss-component telemetry records each term's *weighted* contribution
+  // to the total objective; values are read off the tape, never mutated.
+  if (obs::Enabled()) {
+    obs::HealthTracker::Get().RecordLossComponent("bpr",
+                                                  loss.value().scalar());
+  }
+
   const bool needs_views = gconfig_.use_gib || gconfig_.use_cl;
   if (!needs_views) return loss;
 
@@ -104,11 +112,23 @@ Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
                 GibPredictionTerm(tape, z_dprime, batch, ItemOffset())),
         0.5f * gconfig_.gib_pred_weight);
     Var kl = GibCompressionTerm(tape, h_bar, z_prime, z_dprime);
+    if (obs::Enabled()) {
+      obs::HealthTracker::Get().RecordLossComponent("gib_pred",
+                                                    pred.value().scalar());
+      obs::HealthTracker::Get().RecordLossComponent(
+          "gib_kl",
+          kl.value().scalar() * gconfig_.beta1 * gconfig_.gib_beta);
+    }
     loss = ag::Add(loss,
                    ag::Add(pred, ag::Scale(kl, gconfig_.beta1 *
                                                    gconfig_.gib_beta)));
     if (gconfig_.structure_kl_weight > 0.f) {
       Var skl = BernoulliStructureKl(tape, probs, gconfig_.structure_prior);
+      if (obs::Enabled()) {
+        obs::HealthTracker::Get().RecordLossComponent(
+            "structure_kl",
+            skl.value().scalar() * gconfig_.structure_kl_weight);
+      }
       loss = ag::Add(loss, ag::Scale(skl, gconfig_.structure_kl_weight));
     }
   }
@@ -126,6 +146,11 @@ Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
                                   ag::GatherRows(z_dprime, items),
                                   config_.temperature);
     Var cl = ag::Add(cl_user, cl_item);
+    if (obs::Enabled()) {
+      obs::HealthTracker::Get().RecordLossComponent(
+          "contrastive",
+          cl.value().scalar() * gconfig_.beta2 * config_.ssl_weight);
+    }
     loss = ag::Add(loss, ag::Scale(cl, gconfig_.beta2 * config_.ssl_weight));
   } else if (gconfig_.use_gib) {
     // "w/o CL" variant: GIB directly regularizes the BPR objective via an
@@ -134,6 +159,10 @@ Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
         ag::Add(GibPredictionTerm(tape, z_prime, batch, ItemOffset()),
                 GibPredictionTerm(tape, z_dprime, batch, ItemOffset())),
         0.5f * config_.ssl_weight);
+    if (obs::Enabled()) {
+      obs::HealthTracker::Get().RecordLossComponent("gib_pred_extra",
+                                                    extra.value().scalar());
+    }
     loss = ag::Add(loss, extra);
   }
   return loss;

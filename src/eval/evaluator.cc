@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace graphaug {
 
@@ -132,6 +133,7 @@ TopKMetrics RankAndScore(const Dataset& dataset,
 
 TopKMetrics Evaluator::EvaluateUsers(const ScoreFn& scorer,
                                      const std::vector<int32_t>& users) const {
+  GA_TRACE_SPAN("eval");
   return RankAndScore(
       *dataset_, scorer, train_items_, ks_, max_k_, users,
       [this](int32_t u) -> const std::vector<int32_t>& {

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace graphaug {
 namespace {
@@ -70,6 +71,7 @@ CsrMatrix CsrMatrix::WithValues(std::vector<float> values) const {
 }
 
 void CsrMatrix::Spmm(const Matrix& dense, Matrix* out, bool accumulate) const {
+  GA_TRACE_SPAN("spmm");
   GA_CHECK_EQ(dense.rows(), cols_);
   if (!accumulate || out->rows() != rows_ || out->cols() != dense.cols()) {
     *out = Matrix(rows_, dense.cols());
@@ -117,6 +119,7 @@ const CsrTransposePattern& CsrMatrix::TransposedPattern() const {
 }
 
 void CsrMatrix::SpmmT(const Matrix& dense, Matrix* out, bool accumulate) const {
+  GA_TRACE_SPAN("spmm_t");
   GA_CHECK_EQ(dense.rows(), rows_);
   if (!accumulate || out->rows() != cols_ || out->cols() != dense.cols()) {
     *out = Matrix(cols_, dense.cols());

@@ -1,5 +1,8 @@
 #include "models/recommender.h"
 
+#include <cmath>
+
+#include "obs/obs.h"
 #include "tensor/ops.h"
 
 namespace graphaug {
@@ -27,11 +30,36 @@ double Recommender::TrainEpoch() {
     if (batch.size() == 0) continue;
     Tape tape;
     Var loss = BuildLoss(&tape, batch);
-    total_loss += loss.value().scalar();
+    const double batch_loss = loss.value().scalar();
+    total_loss += batch_loss;
+    if (obs::Enabled() && !std::isfinite(batch_loss)) {
+      obs::HealthTracker::Get().RecordNonFiniteLoss(batch_loss);
+    }
     tape.Backward(loss);
+    if (obs::Enabled()) RecordBatchHealth(batch_loss);
     optimizer_->Step(&store_);
   }
   return batches > 0 ? total_loss / batches : 0.0;
+}
+
+void Recommender::RecordBatchHealth(double batch_loss) {
+  // Reads gradients only (after Backward, before the optimizer consumes
+  // them), so recording cannot change training results.
+  double squared_norm = 0;
+  int64_t nonfinite = 0;
+  for (const Parameter* p : store_.params()) {
+    if (!p->trainable || !p->grad.SameShape(p->value)) continue;
+    nonfinite += obs::NonFiniteCount(p->grad.data(), p->grad.size());
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      squared_norm += static_cast<double>(p->grad[i]) * p->grad[i];
+    }
+  }
+  obs::HealthTracker::Get().RecordBatchGrad(squared_norm, nonfinite);
+  obs::MetricsRegistry::Get().GetCounter("train.batches")->Inc();
+  obs::MetricsRegistry::Get()
+      .GetHistogram("train.batch_loss",
+                    {0.01, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 100.0})
+      ->Observe(batch_loss);
 }
 
 void Recommender::Finalize() {

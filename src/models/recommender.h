@@ -88,6 +88,10 @@ class Recommender {
   /// neighbor resampling).
   virtual void OnEpochBegin() {}
 
+  /// Records one batch's gradient norm / NaN count / loss into the
+  /// observability layer; called by TrainEpoch only when obs::Enabled().
+  void RecordBatchHealth(double batch_loss);
+
   /// Item node id offset inside the (I+J)-node homogeneous graph.
   int32_t ItemOffset() const { return graph_.num_users(); }
 

@@ -1,7 +1,10 @@
 #include "models/trainer.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/obs.h"
 
 namespace graphaug {
 
@@ -18,6 +21,14 @@ TrainResult TrainAndEvaluate(Recommender* model, const Evaluator& evaluator,
 
   for (int epoch = 1; epoch <= options.epochs; ++epoch) {
     const double loss = model->TrainEpoch();
+    if (obs::Enabled()) {
+      const obs::EpochHealth h = obs::HealthTracker::Get().EndEpoch(
+          epoch, std::sqrt(model->params()->SquaredParamNorm()), loss);
+      obs::MetricsRegistry::Get().GetGauge("train.grad_norm")->Set(h.grad_norm);
+      obs::MetricsRegistry::Get()
+          .GetGauge("train.param_norm")
+          ->Set(h.param_norm);
+    }
     model->DecayLearningRate();
     const bool eval_now = (options.eval_every > 0 &&
                            epoch % options.eval_every == 0) ||

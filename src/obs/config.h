@@ -1,0 +1,31 @@
+#ifndef GRAPHAUG_OBS_CONFIG_H_
+#define GRAPHAUG_OBS_CONFIG_H_
+
+/// Compile-time switch for the whole instrumentation layer. Builds with
+/// -DGRAPHAUG_NO_OBS (CMake option GRAPHAUG_DISABLE_OBS) compile every
+/// GA_TRACE_SPAN / GA_AG_OP macro to nothing and fold obs::Enabled() to a
+/// constant false, so instrumented call sites are dead-code eliminated.
+/// The obs library itself still builds (export functions return empty
+/// documents) so callers never need their own #ifdefs.
+#if !defined(GRAPHAUG_NO_OBS)
+#define GRAPHAUG_OBS_ENABLED 1
+#else
+#define GRAPHAUG_OBS_ENABLED 0
+#endif
+
+namespace graphaug::obs {
+
+#if GRAPHAUG_OBS_ENABLED
+/// Runtime master switch for instrumentation (off by default). Callers
+/// gate recording on this, so an untouched binary pays one relaxed load
+/// per instrumented site.
+bool Enabled();
+void SetEnabled(bool enabled);
+#else
+inline constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool) {}
+#endif
+
+}  // namespace graphaug::obs
+
+#endif  // GRAPHAUG_OBS_CONFIG_H_

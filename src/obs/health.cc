@@ -1,0 +1,144 @@
+#include "obs/health.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace graphaug::obs {
+
+HealthTracker& HealthTracker::Get() {
+  static HealthTracker* tracker = new HealthTracker();
+  return *tracker;
+}
+
+void HealthTracker::RecordLossComponent(const char* name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& [sum, count] = component_sums_[name];
+  sum += value;
+  ++count;
+}
+
+void HealthTracker::RecordBatchGrad(double squared_norm,
+                                    int64_t nonfinite_entries) {
+  if (nonfinite_entries > 0) {
+    // Warn loudly but keep training: the counter (not silent NaN
+    // propagation) is the contract.
+    GA_LOG(Warn) << "non-finite gradients: " << nonfinite_entries
+                 << " entries this batch";
+    MetricsRegistry::Get()
+        .GetCounter("health.nonfinite_grad_entries")
+        ->Inc(nonfinite_entries);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  grad_norm_sum_ += std::sqrt(squared_norm);
+  ++grad_batches_;
+  nonfinite_grads_ += nonfinite_entries;
+}
+
+void HealthTracker::RecordNonFiniteLoss(double value) {
+  GA_LOG(Warn) << "non-finite training loss: " << value;
+  MetricsRegistry::Get().GetCounter("health.nonfinite_losses")->Inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++nonfinite_losses_;
+}
+
+EpochHealth HealthTracker::EndEpoch(int epoch, double param_norm,
+                                    double mean_loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EpochHealth rec;
+  rec.epoch = epoch;
+  rec.loss = mean_loss;
+  rec.param_norm = param_norm;
+  rec.grad_norm =
+      grad_batches_ > 0 ? grad_norm_sum_ / static_cast<double>(grad_batches_)
+                        : 0.0;
+  rec.nonfinite_grads = nonfinite_grads_;
+  rec.nonfinite_losses = nonfinite_losses_;
+  for (const auto& [name, sc] : component_sums_) {
+    rec.loss_components[name] =
+        sc.second > 0 ? sc.first / static_cast<double>(sc.second) : 0.0;
+  }
+  history_.push_back(rec);
+  component_sums_.clear();
+  grad_norm_sum_ = 0;
+  grad_batches_ = 0;
+  nonfinite_grads_ = 0;
+  nonfinite_losses_ = 0;
+  return rec;
+}
+
+std::vector<EpochHealth> HealthTracker::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+int64_t HealthTracker::TotalNonFinite() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = nonfinite_grads_ + nonfinite_losses_;
+  for (const EpochHealth& e : history_) {
+    total += e.nonfinite_grads + e.nonfinite_losses;
+  }
+  return total;
+}
+
+std::string HealthTracker::ToJson() const {
+  const std::vector<EpochHealth> history = History();
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < history.size(); ++i) {
+    const EpochHealth& e = history[i];
+    os << (i ? ",\n" : "\n") << "    {\"epoch\": " << e.epoch
+       << ", \"loss\": " << JsonNumber(e.loss)
+       << ", \"grad_norm\": " << JsonNumber(e.grad_norm)
+       << ", \"param_norm\": " << JsonNumber(e.param_norm)
+       << ", \"nonfinite_grads\": " << e.nonfinite_grads
+       << ", \"nonfinite_losses\": " << e.nonfinite_losses
+       << ", \"loss_components\": {";
+    bool first = true;
+    for (const auto& [name, v] : e.loss_components) {
+      os << (first ? "" : ", ") << JsonString(name) << ": " << JsonNumber(v);
+      first = false;
+    }
+    os << "}}";
+  }
+  os << (history.empty() ? "" : "\n  ") << "]";
+  return os.str();
+}
+
+Table HealthTracker::ToTable() const {
+  Table t({"epoch", "loss", "grad norm", "param norm", "non-finite",
+           "components"});
+  for (const EpochHealth& e : History()) {
+    std::string comps;
+    for (const auto& [name, v] : e.loss_components) {
+      if (!comps.empty()) comps += " ";
+      comps += name + "=" + FormatDouble(v, 4);
+    }
+    t.AddRow({std::to_string(e.epoch), FormatDouble(e.loss, 4),
+              FormatDouble(e.grad_norm, 4), FormatDouble(e.param_norm, 2),
+              std::to_string(e.nonfinite_grads + e.nonfinite_losses), comps});
+  }
+  return t;
+}
+
+void HealthTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.clear();
+  component_sums_.clear();
+  grad_norm_sum_ = 0;
+  grad_batches_ = 0;
+  nonfinite_grads_ = 0;
+  nonfinite_losses_ = 0;
+}
+
+int64_t NonFiniteCount(const float* p, int64_t n) {
+  int64_t bad = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) ++bad;
+  }
+  return bad;
+}
+
+}  // namespace graphaug::obs

@@ -1,0 +1,85 @@
+#ifndef GRAPHAUG_OBS_HEALTH_H_
+#define GRAPHAUG_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/config.h"
+
+namespace graphaug::obs {
+
+/// Numerical-health snapshot of one training epoch.
+struct EpochHealth {
+  int epoch = 0;
+  double loss = 0;        ///< mean batch loss
+  double grad_norm = 0;   ///< mean per-batch global gradient L2 norm
+  double param_norm = 0;  ///< parameter L2 norm at epoch end
+  int64_t nonfinite_grads = 0;   ///< NaN/Inf gradient entries this epoch
+  int64_t nonfinite_losses = 0;  ///< batches with a NaN/Inf loss
+  /// Mean per-batch value of each loss component (weighted contribution
+  /// to the total objective), e.g. "bpr" / "gib_pred" / "gib_kl" /
+  /// "contrastive".
+  std::map<std::string, double> loss_components;
+};
+
+/// Accumulates per-batch health signals and folds them into per-epoch
+/// records. Batch recording is called from the training loop (gated on
+/// obs::Enabled() there); EndEpoch snapshots the running means and
+/// appends to the history. Thread-safe; recording never mutates model
+/// state, so enabling it cannot change training results.
+class HealthTracker {
+ public:
+  static HealthTracker& Get();
+
+  /// Adds one batch's (weighted) loss-component value.
+  void RecordLossComponent(const char* name, double value);
+
+  /// Adds one batch's global squared gradient norm over all trainable
+  /// parameters, plus the count of non-finite gradient entries found.
+  void RecordBatchGrad(double squared_norm, int64_t nonfinite_entries);
+
+  /// Flags a batch whose scalar loss was NaN/Inf.
+  void RecordNonFiniteLoss(double value);
+
+  /// Closes the epoch: averages the per-batch accumulators, stores the
+  /// record, and resets the batch state. Returns the stored record.
+  EpochHealth EndEpoch(int epoch, double param_norm, double mean_loss);
+
+  std::vector<EpochHealth> History() const;
+
+  /// Total non-finite gradient entries / losses seen since Reset (also
+  /// mirrored into the "health.nonfinite_*" counters).
+  int64_t TotalNonFinite() const;
+
+  /// JSON array of epoch records.
+  std::string ToJson() const;
+
+  /// ASCII table of the epoch history.
+  Table ToTable() const;
+
+  void Reset();
+
+ private:
+  HealthTracker() = default;
+
+  mutable std::mutex mu_;
+  std::vector<EpochHealth> history_;
+  // Per-batch accumulators for the in-flight epoch.
+  std::map<std::string, std::pair<double, int64_t>> component_sums_;
+  double grad_norm_sum_ = 0;
+  int64_t grad_batches_ = 0;
+  int64_t nonfinite_grads_ = 0;
+  int64_t nonfinite_losses_ = 0;
+};
+
+/// Number of NaN/Inf entries in [p, p + n). Plain scan; callers gate on
+/// obs::Enabled().
+int64_t NonFiniteCount(const float* p, int64_t n);
+
+}  // namespace graphaug::obs
+
+#endif  // GRAPHAUG_OBS_HEALTH_H_

@@ -1,0 +1,360 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace graphaug::obs {
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  GA_CHECK(!bounds_.empty()) << "histogram " << name_ << " needs buckets";
+  GA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram " << name_ << " bounds must be ascending";
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    GA_CHECK(bounds_[i] < bounds_[i + 1])
+        << "histogram " << name_ << " has duplicate bound " << bounds_[i];
+  }
+  counts_.resize(bounds_.size() + 1);
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  // First bound >= v; v above every bound lands in the overflow bucket.
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> requires C++20 libstdc++ support; a CAS
+  // loop keeps the sum portable.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::BucketCount(size_t i) const {
+  GA_CHECK(i < counts_.size());
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return it->second;
+  counters_.emplace_back(name);
+  counter_index_[name] = &counters_.back();
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return it->second;
+  gauges_.emplace_back(name);
+  gauge_index_[name] = &gauges_.back();
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return it->second;
+  histograms_.emplace_back(name, bounds);
+  histogram_index_[name] = &histograms_.back();
+  return &histograms_.back();
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counter_index_) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": "
+       << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauge_index_) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name) << ": "
+       << JsonNumber(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histogram_index_) {
+    os << (first ? "\n" : ",\n") << "    " << JsonString(name)
+       << ": {\"bounds\": [";
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      os << (i ? ", " : "") << JsonNumber(h->bounds()[i]);
+    }
+    os << "], \"counts\": [";
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      os << (i ? ", " : "") << h->BucketCount(i);
+    }
+    os << "], \"count\": " << h->TotalCount()
+       << ", \"sum\": " << JsonNumber(h->Sum()) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}";
+  return os.str();
+}
+
+Table MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table t({"Metric", "Type", "Value"});
+  for (const auto& [name, c] : counter_index_) {
+    t.AddRow({name, "counter", std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauge_index_) {
+    t.AddRow({name, "gauge", FormatDouble(g->value(), 6)});
+  }
+  for (const auto& [name, h] : histogram_index_) {
+    const int64_t n = h->TotalCount();
+    const double mean = n > 0 ? h->Sum() / static_cast<double>(n) : 0.0;
+    t.AddRow({name, "histogram",
+              "n=" + std::to_string(n) + " mean=" + FormatDouble(mean, 6)});
+  }
+  return t;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c.Reset();
+  for (auto& g : gauges_) g.Reset();
+  for (auto& h : histograms_) h.Reset();
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker (value grammar of RFC 8259; no
+/// semantic limits beyond a depth cap).
+class JsonChecker {
+ public:
+  JsonChecker(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool Run() {
+    SkipWs();
+    if (!Value(0)) return false;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing content");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_ != nullptr) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return Fail("bad escape");
+        }
+        ++pos_;
+      } else if (c < 0x20) {
+        return Fail("raw control char in string");
+      } else {
+        ++pos_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return Fail("expected digit");
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("expected fraction digit");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Fail("expected exponent digit");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value(int depth) {
+    if (depth > 256) return Fail("nesting too deep");
+    if (pos_ >= s_.size()) return Fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        if (!String()) return false;
+        SkipWs();
+        if (pos_ >= s_.size() || s_[pos_] != ':') return Fail("expected ':'");
+        ++pos_;
+        SkipWs();
+        if (!Value(depth + 1)) return false;
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        if (!Value(depth + 1)) return false;
+        SkipWs();
+        if (pos_ < s_.size() && s_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonLint(const std::string& text, std::string* error) {
+  return JsonChecker(text, error).Run();
+}
+
+}  // namespace graphaug::obs

@@ -1,0 +1,128 @@
+#ifndef GRAPHAUG_OBS_METRICS_H_
+#define GRAPHAUG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/config.h"
+
+namespace graphaug::obs {
+
+/// Monotonically increasing integer metric. Updates are lock-free relaxed
+/// atomics, safe from any thread (including pool workers).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written double metric (thread-safe set/read).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i] (bucket 0: v <= bounds[0]); one extra
+/// overflow bucket counts v > bounds.back(). Observe is lock-free.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  int64_t BucketCount(size_t i) const;
+  int64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::deque<std::atomic<int64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Process-wide registry of named metrics. Registration takes a mutex;
+/// returned pointers are stable for the process lifetime (deque storage),
+/// so hot paths register once (static local) and update lock-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Returns the counter/gauge registered under `name`, creating it on
+  /// first use. Re-registration with the same name returns the same
+  /// object.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Histogram bucket bounds must be ascending; they are fixed at first
+  /// registration (later calls with different bounds get the original).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// JSON object with "counters" / "gauges" / "histograms" sections.
+  std::string ToJson() const;
+
+  /// ASCII table of every metric (counters and gauges; histograms are
+  /// summarized as count/mean).
+  Table ToTable() const;
+
+  /// Zeroes every metric value (registrations survive). Test helper.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*> counter_index_;
+  std::map<std::string, Gauge*> gauge_index_;
+  std::map<std::string, Histogram*> histogram_index_;
+};
+
+/// Formats a double as a JSON number; non-finite values (which bare JSON
+/// cannot represent) become null.
+std::string JsonNumber(double v);
+
+/// Escapes a string for embedding in a JSON document (quotes included).
+std::string JsonString(const std::string& s);
+
+/// Minimal JSON syntax validator (objects, arrays, strings, numbers,
+/// literals; UTF-8 passthrough). Returns true when `text` is one valid
+/// JSON value; on failure sets `error` to a short position-stamped
+/// message. Shared by tests and tools/json_check.
+bool JsonLint(const std::string& text, std::string* error);
+
+}  // namespace graphaug::obs
+
+#endif  // GRAPHAUG_OBS_METRICS_H_

@@ -1,0 +1,118 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+#include "common/parallel.h"
+
+namespace graphaug::obs {
+
+#if GRAPHAUG_OBS_ENABLED
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+  // Busy/wall timing in the parallel runtime rides the master switch.
+  SetParallelStatsEnabled(enabled);
+}
+#endif
+
+namespace {
+
+/// JSON object for the parallel runtime, plus a derived utilization
+/// fraction (busy / (wall * threads)); only meaningful in timed mode.
+std::string ParallelJson() {
+  const ParallelStats s = GetParallelStats();
+  const int threads = NumThreads();
+  const double util =
+      s.wall_ns > 0
+          ? static_cast<double>(s.busy_ns) /
+                (static_cast<double>(s.wall_ns) * static_cast<double>(threads))
+          : 0.0;
+  std::ostringstream os;
+  os << "{\"threads\": " << threads
+     << ", \"pool_regions\": " << s.pool_regions
+     << ", \"serial_regions\": " << s.serial_regions
+     << ", \"pool_chunks\": " << s.pool_chunks
+     << ", \"busy_ms\": " << JsonNumber(static_cast<double>(s.busy_ns) / 1e6)
+     << ", \"wall_ms\": " << JsonNumber(static_cast<double>(s.wall_ns) / 1e6)
+     << ", \"utilization\": " << JsonNumber(util) << "}";
+  return os.str();
+}
+
+void RefreshParallelGauges() {
+  const ParallelStats s = GetParallelStats();
+  const int threads = NumThreads();
+  MetricsRegistry& reg = MetricsRegistry::Get();
+  reg.GetGauge("parallel.threads")->Set(static_cast<double>(threads));
+  reg.GetGauge("parallel.utilization")
+      ->Set(s.wall_ns > 0 ? static_cast<double>(s.busy_ns) /
+                                (static_cast<double>(s.wall_ns) *
+                                 static_cast<double>(threads))
+                          : 0.0);
+}
+
+}  // namespace
+
+std::string MetricsJson() {
+  RefreshParallelGauges();
+  std::ostringstream os;
+  os << "{\n\"metrics\": " << MetricsRegistry::Get().ToJson()
+     << ",\n\"autograd_ops\": " << AutogradProfiler::Get().ToJson()
+     << ",\n\"epochs\": " << HealthTracker::Get().ToJson()
+     << ",\n\"parallel\": " << ParallelJson() << "\n}";
+  return os.str();
+}
+
+bool WriteMetricsJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = MetricsJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string AsciiReport() {
+  RefreshParallelGauges();
+  std::ostringstream os;
+  const Table ops = AutogradProfiler::Get().ToTable();
+  if (ops.NumRows() > 0) {
+    os << "Autograd ops (sorted by total time)\n" << ops.ToString() << "\n";
+  }
+  const Table health = HealthTracker::Get().ToTable();
+  if (health.NumRows() > 0) {
+    os << "Training health\n" << health.ToString() << "\n";
+  }
+  os << "Metrics\n" << MetricsRegistry::Get().ToTable().ToString();
+  const ParallelStats s = GetParallelStats();
+  os << "Parallel runtime: " << NumThreads() << " threads, "
+     << s.pool_regions << " pool regions (" << s.pool_chunks << " chunks), "
+     << s.serial_regions << " serial regions";
+  if (s.wall_ns > 0) {
+    os << ", utilization "
+       << FormatDouble(static_cast<double>(s.busy_ns) /
+                           (static_cast<double>(s.wall_ns) * NumThreads()),
+                       2);
+  }
+  os << "\n";
+  const int64_t dropped = TraceDroppedTotal();
+  if (dropped > 0) {
+    os << "Trace: " << dropped << " events dropped (ring overflow)\n";
+  }
+  return os.str();
+}
+
+void ResetAll() {
+  MetricsRegistry::Get().Reset();
+  AutogradProfiler::Get().Reset();
+  HealthTracker::Get().Reset();
+  ResetTrace();
+  ResetParallelStats();
+}
+
+}  // namespace graphaug::obs

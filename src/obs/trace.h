@@ -1,0 +1,103 @@
+#ifndef GRAPHAUG_OBS_TRACE_H_
+#define GRAPHAUG_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/config.h"
+
+namespace graphaug::obs {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// outlive the trace buffers) — spans are recorded by pointer, never by
+/// copy, so the hot path stays allocation-free.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t ts_ns = 0;   ///< start, monotonic ns since process start
+  int64_t dur_ns = 0;  ///< duration in ns
+  int tid = 0;         ///< small dense thread id (registration order)
+};
+
+/// Monotonic nanoseconds since process start (shared clock for trace
+/// events and the autograd profiler).
+int64_t TraceClockNs();
+
+#if GRAPHAUG_OBS_ENABLED
+/// Runtime switch for span recording (off by default; spans cost one
+/// relaxed load + branch when off).
+bool TraceEnabled();
+#else
+inline constexpr bool TraceEnabled() { return false; }
+#endif
+
+/// Enables/disables span recording. No-op in GRAPHAUG_NO_OBS builds.
+void SetTraceEnabled(bool enabled);
+
+/// Appends a completed span to the calling thread's ring buffer. Used by
+/// TraceSpan; callable directly for spans whose bounds are not lexical.
+void RecordTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns);
+
+/// RAII scoped span: records [construction, destruction) under `name`
+/// when tracing is enabled. Prefer the GA_TRACE_SPAN macro, which also
+/// compiles away under GRAPHAUG_NO_OBS.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_ns_ = TraceClockNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      RecordTraceEvent(name_, start_ns_, TraceClockNs() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+/// Events currently held in every thread's ring buffer, in no particular
+/// order (test/bench helper; export prefers WriteChromeTrace).
+std::vector<TraceEvent> SnapshotTraceEvents();
+
+/// Events recorded since the last ResetTrace (including any that were
+/// overwritten after their ring filled).
+int64_t TraceEventTotal();
+
+/// Events lost to ring-buffer overwrite since the last ResetTrace.
+int64_t TraceDroppedTotal();
+
+/// Serializes every buffered span as Chrome trace-event JSON
+/// ({"traceEvents": [...]}; load via chrome://tracing or Perfetto).
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`; false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// Drops all buffered events and zeroes the totals (test helper).
+void ResetTrace();
+
+}  // namespace graphaug::obs
+
+/// Scoped trace span macro: GA_TRACE_SPAN("spmm"); the span closes at end
+/// of scope. Compiles to nothing under GRAPHAUG_NO_OBS.
+#if GRAPHAUG_OBS_ENABLED
+#define GA_TRACE_SPAN_CONCAT2(a, b) a##b
+#define GA_TRACE_SPAN_CONCAT(a, b) GA_TRACE_SPAN_CONCAT2(a, b)
+#define GA_TRACE_SPAN(name)                    \
+  ::graphaug::obs::TraceSpan GA_TRACE_SPAN_CONCAT(ga_trace_span_, \
+                                                  __LINE__)(name)
+#else
+#define GA_TRACE_SPAN(name) \
+  do {                      \
+  } while (0)
+#endif
+
+#endif  // GRAPHAUG_OBS_TRACE_H_

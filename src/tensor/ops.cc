@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace graphaug {
 namespace {
@@ -95,6 +96,7 @@ void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
 
 void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
           float alpha, float beta, Matrix* out) {
+  GA_TRACE_SPAN("gemm");
   const int64_t m = trans_a ? a.cols() : a.rows();
   const int64_t ka = trans_a ? a.rows() : a.cols();
   const int64_t kb = trans_b ? b.cols() : b.rows();

@@ -32,6 +32,7 @@
 #include "eval/evaluator.h"
 #include "models/registry.h"
 #include "models/trainer.h"
+#include "obs/obs.h"
 
 namespace graphaug {
 namespace {
@@ -48,9 +49,18 @@ int Usage() {
       "            [--model=NAME] [--user=N] [--topk=N]\n"
       "  denoise   --dataset=FILE|--preset=NAME [--epochs=N] [--budget=F]\n"
       "common flags:\n"
-      "  --threads=N  worker threads for the parallel runtime (0 = auto;\n"
-      "               overrides GRAPHAUG_NUM_THREADS). Output is identical\n"
-      "               at any thread count.\n");
+      "  --threads=N      worker threads for the parallel runtime (0 = auto;\n"
+      "                   overrides GRAPHAUG_NUM_THREADS). Output is\n"
+      "                   identical at any thread count.\n"
+      "  --log-level=L    minimum log severity: debug|info|warn|error\n"
+      "                   (default info; overrides GRAPHAUG_LOG_LEVEL)\n"
+      "  --metrics-out=F  write combined metrics JSON (per-op autograd\n"
+      "                   profile, per-epoch training health, parallel\n"
+      "                   runtime stats) on exit\n"
+      "  --trace-out=F    record scoped trace spans and write Chrome\n"
+      "                   trace-event JSON (chrome://tracing / Perfetto)\n"
+      "  --obs-report     print the instrumentation report to stdout\n"
+      "                   (enables profiling like --metrics-out)\n");
   return 2;
 }
 
@@ -247,6 +257,25 @@ int Main(int argc, char** argv) {
   if (flags.Has("threads")) {
     SetNumThreads(static_cast<int>(flags.GetInt("threads", 0)));
   }
+  if (flags.Has("log-level")) {
+    const std::string name = flags.GetString("log-level", "info");
+    LogLevel level;
+    if (!ParseLogLevel(name, &level)) {
+      std::fprintf(stderr, "unknown --log-level '%s' "
+                   "(expected debug|info|warn|error)\n", name.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+  // Observability: any of the three flags turns the master switch on;
+  // tracing additionally records scoped spans into the ring buffers.
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const bool obs_report = flags.GetBool("obs-report", false);
+  if (!metrics_out.empty() || !trace_out.empty() || obs_report) {
+    obs::SetEnabled(true);
+  }
+  if (!trace_out.empty()) obs::SetTraceEnabled(true);
   const std::string& cmd = flags.positional()[0];
   int rc;
   if (cmd == "generate") {
@@ -262,6 +291,25 @@ int Main(int argc, char** argv) {
   } else {
     return Usage();
   }
+  if (!trace_out.empty()) {
+    if (obs::WriteChromeTrace(trace_out)) {
+      std::fprintf(stderr, "trace written to %s (%lld events)\n",
+                   trace_out.c_str(),
+                   static_cast<long long>(obs::TraceEventTotal()));
+    } else {
+      std::fprintf(stderr, "cannot write trace %s\n", trace_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::WriteMetricsJson(metrics_out)) {
+      std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write metrics %s\n", metrics_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (obs_report) std::printf("%s", obs::AsciiReport().c_str());
   for (const std::string& f : flags.UnusedFlags()) {
     std::fprintf(stderr, "warning: unused flag --%s\n", f.c_str());
   }

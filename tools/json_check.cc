@@ -1,0 +1,38 @@
+// Validates that each argument file parses as one JSON value, using the
+// same minimal linter the obs layer tests itself with (obs::JsonLint).
+// Exit 0 when every file is valid; 1 on the first syntax error or
+// unreadable file. Used by tools/run_obs_smoke.sh to check the
+// --metrics-out / --trace-out artifacts without any external parser.
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_check FILE...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 1;
+    }
+    std::string text;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    std::string error;
+    if (!graphaug::obs::JsonLint(text, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "%s: ok (%zu bytes)\n", argv[i], text.size());
+  }
+  return 0;
+}

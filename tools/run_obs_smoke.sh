@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Observability smoke test: trains GraphAug for two epochs on the tiny
+# synthetic preset with metrics + trace export enabled, then checks that
+# both artifacts exist, lint as JSON (via the json_check tool, which uses
+# the same obs::JsonLint the unit tests exercise), and contain the
+# sections the instrumentation layer promises. Registered as a ctest
+# (run_obs_smoke) from tools/CMakeLists.txt.
+#
+# Usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN
+set -euo pipefail
+
+CLI=${1:?usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN}
+CHECK=${2:?usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+METRICS="$WORK/metrics.json"
+TRACE="$WORK/trace.json"
+
+"$CLI" train --preset=tiny --model=GraphAug --epochs=2 --eval-every=2 \
+  --metrics-out="$METRICS" --trace-out="$TRACE" --obs-report \
+  --log-level=warn
+
+[ -s "$METRICS" ] || { echo "FAIL: $METRICS missing or empty" >&2; exit 1; }
+[ -s "$TRACE" ]   || { echo "FAIL: $TRACE missing or empty" >&2; exit 1; }
+
+"$CHECK" "$METRICS" "$TRACE"
+
+for key in '"metrics"' '"autograd_ops"' '"epochs"' '"parallel"'; do
+  grep -q "$key" "$METRICS" || {
+    echo "FAIL: $key not found in metrics JSON" >&2; exit 1; }
+done
+for key in '"traceEvents"' '"spmm"' '"backward"'; do
+  grep -q "$key" "$TRACE" || {
+    echo "FAIL: $key not found in trace JSON" >&2; exit 1; }
+done
+
+echo "obs smoke ok: metrics=$(wc -c <"$METRICS")B trace=$(wc -c <"$TRACE")B"
