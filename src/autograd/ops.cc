@@ -251,6 +251,25 @@ Var Spmm(const CsrMatrix* csr, Var dense) {
                  });
 }
 
+Var SpmmPower(const AdjacencyPowerCache* cache, int k, Var dense) {
+  GA_CHECK_GE(k, 0);
+  Tape* t = dense.tape();
+  const int did = dense.id();
+  const CsrMatrix& m = cache->adjacency();
+  const double d = static_cast<double>(dense.cols());
+  const double nnz = static_cast<double>(m.nnz());
+  GA_AG_OP("SpmmPower", 2 * k * nnz * d,
+           k * (8 * nnz + 4 * d * (m.rows() + m.cols())));
+  Matrix y;
+  cache->Apply(k, dense.value(), &y);
+  return t->Emit(std::move(y), t->NeedsGrad(did),
+                 [cache, k, did](Tape* t, const Matrix& up) {
+                   Matrix g;
+                   cache->ApplyTransposed(k, up, &g);
+                   t->AccumulateGrad(did, g);
+                 });
+}
+
 Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
   Tape* t = dense.tape();
   const int wid = edge_w.id(), did = dense.id();
@@ -294,25 +313,17 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
     const int64_t d = h.cols();
     if (t->NeedsGrad(did)) {
       // dH[col(k)] += value[k] * up[row(k)], computed as a race-free
-      // gather over the cached transpose pattern: each dH row is owned by
-      // exactly one chunk, and entries arrive in ascending original row —
-      // the serial scatter's accumulation order — so the result is bitwise
-      // identical to the serial formulation at any thread count.
-      const CsrTransposePattern& tp = m.TransposedPattern();
+      // gather over the cached CSC mirror: each dH row is owned by exactly
+      // one chunk, and entries arrive in ascending original row — the
+      // serial scatter's accumulation order — so the result is bitwise
+      // identical to the serial formulation at any thread count. The
+      // per-step weighted values are permuted into mirror order once so
+      // the inner loop streams them contiguously instead of double-
+      // indirecting through the source permutation per nonzero.
+      const CscMirror& mir = m.Mirror();
+      const std::vector<float> pv = mir.PermuteValues(*values);
       Matrix gh(h.rows(), d);
-      ParallelFor(0, m.cols(), SpmmRowGrain(m.cols(), m.nnz(), d),
-                  [&](int64_t r0, int64_t r1) {
-                    for (int64_t r = r0; r < r1; ++r) {
-                      float* grow = gh.row(r);
-                      for (int64_t k = tp.row_ptr[r]; k < tp.row_ptr[r + 1];
-                           ++k) {
-                        const float v =
-                            (*values)[static_cast<size_t>(tp.src[k])];
-                        const float* urow = up.row(tp.col_idx[k]);
-                        for (int64_t c = 0; c < d; ++c) grow[c] += v * urow[c];
-                      }
-                    }
-                  });
+      CscMirrorSpmm(mir, pv.data(), up, &gh);
       t->AccumulateGrad(did, gh);
     }
     if (t->NeedsGrad(wid)) {

@@ -79,8 +79,15 @@ void ThreadPool::ParallelForRange(
   }
 
   // Per-call completion latch: `next` hands out chunk indices, `done`
-  // counts finished runner tasks. Runner count is capped by both the chunk
-  // count and the pool width; each runner drains chunks until none remain.
+  // counts finished runner tasks. Runner count is capped by the chunk
+  // count, the pool width, and the machine's core count: dispatching more
+  // runner tasks than cores adds scheduler timeslicing (and the cache
+  // refaults each switch causes) without adding throughput. The cap keeps
+  // a floor of two runners so an oversubscribed pool on a narrow machine
+  // still executes concurrently — the determinism sweep and the sanitizer
+  // jobs rely on real concurrent runners to have teeth. Which runner
+  // executes which chunk never affects results: chunks are handed out
+  // atomically and each chunk's work is chunk-local.
   struct CallState {
     std::atomic<int64_t> next{0};
     std::mutex mu;
@@ -88,7 +95,10 @@ void ThreadPool::ParallelForRange(
     int64_t done = 0;
   };
   auto state = std::make_shared<CallState>();
-  const int64_t runners = std::min<int64_t>(chunks, num_threads());
+  static const int64_t max_concurrent_runners =
+      std::max<int64_t>(2, std::thread::hardware_concurrency());
+  const int64_t runners = std::min<int64_t>(
+      {chunks, static_cast<int64_t>(num_threads()), max_concurrent_runners});
   const std::function<void(int64_t, int64_t)>* body = &fn;
   for (int64_t t = 0; t < runners; ++t) {
     Submit([state, body, begin, end, grain, chunks, runners] {

@@ -9,6 +9,7 @@ namespace graphaug {
 GraphAug::GraphAug(const Dataset* dataset, const GraphAugConfig& config)
     : Recommender(dataset, config), gconfig_(config) {
   adj_ = graph_.BuildNormalizedAdjacency(gconfig_.self_loop_weight);
+  power_cache_ = std::make_unique<AdjacencyPowerCache>(&adj_.matrix);
   embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
                                     config.dim, &rng_);
   if (gconfig_.use_mixhop) {
@@ -32,12 +33,13 @@ GraphAug::GraphAug(const Dataset* dataset, const GraphAugConfig& config)
 
 Var GraphAug::EncodeBase(Tape* tape, Var base) {
   if (gconfig_.use_mixhop) {
-    return mixhop_->Encode(tape, &adj_.matrix, base);
+    return mixhop_->Encode(tape, power_cache_.get(), base);
   }
   Var h = base;
   for (const Linear& layer : gcn_layers_) {
-    h = ag::LeakyRelu(layer.Forward(tape, ag::Spmm(&adj_.matrix, h)),
-                      config_.leaky_slope);
+    h = ag::LeakyRelu(
+        layer.Forward(tape, ag::SpmmPower(power_cache_.get(), 1, h)),
+        config_.leaky_slope);
   }
   return h;
 }

@@ -18,7 +18,117 @@ int64_t SpmmGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
   return std::max<int64_t>(1, (int64_t{32} << 10) / per_row);
 }
 
+/// Mirror rows per SpmmT chunk: ~256K multiply-adds. The transposed
+/// product is bandwidth-bound rather than compute-bound, so chunks are
+/// coarser than Spmm's — fewer dispatches and a bigger contiguous output
+/// slab per worker — while a Yelp-scale adjacency still decomposes into
+/// dozens of chunks for load balance. (SpmmT accumulates strictly within
+/// each output row, so unlike reductions its result is independent of the
+/// grain; this is a pure throughput knob.)
+int64_t SpmmTGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  const int64_t per_row =
+      std::max<int64_t>(1, nnz / std::max<int64_t>(1, rows)) *
+      std::max<int64_t>(1, dense_cols);
+  return std::max<int64_t>(1, (int64_t{256} << 10) / per_row);
+}
+
+/// Source-row tile for SpmmTVariant::kTiled, sized so one tile of gathered
+/// dense rows (tile_rows x d floats) occupies ~128KB — small enough to
+/// stay resident in L2 next to the output chunk being accumulated.
+constexpr int64_t kTileBytes = int64_t{128} << 10;
+
+/// kAuto switches to the tiled gather once the dense operand being
+/// gathered exceeds ~4MB — past any private cache, the regime where the
+/// untiled random row gather pays a memory round-trip per nonzero.
+constexpr int64_t kTiledMinDenseBytes = int64_t{4} << 20;
+
+SpmmTVariant ResolveVariant(SpmmTVariant variant, int64_t out_rows,
+                            int64_t nnz, int64_t dense_rows,
+                            int64_t dense_cols) {
+  if (variant != SpmmTVariant::kAuto) return variant;
+  const int64_t dense_bytes =
+      dense_rows * dense_cols * static_cast<int64_t>(sizeof(float));
+  if (dense_bytes <= kTiledMinDenseBytes) return SpmmTVariant::kPermuted;
+  // Tiling adds a cursor sweep of every output row per tile. That
+  // bookkeeping (out_rows x num_tiles probes) only amortizes when the
+  // useful work per output row — avg nnz/row x d multiply-adds — clearly
+  // exceeds the number of tiles; on very sparse patterns (a handful of
+  // nonzeros per row against hundreds of tiles) the sweep dominates and
+  // the plain permuted stream wins despite the cache misses.
+  const int64_t num_tiles = (dense_bytes + kTileBytes - 1) / kTileBytes;
+  const int64_t madds_per_row =
+      (nnz / std::max<int64_t>(1, out_rows)) * std::max<int64_t>(1, dense_cols);
+  return madds_per_row >= 4 * num_tiles ? SpmmTVariant::kTiled
+                                        : SpmmTVariant::kPermuted;
+}
+
 }  // namespace
+
+std::vector<float> CscMirror::PermuteValues(
+    const std::vector<float>& values) const {
+  std::vector<float> out(src.size());
+  for (size_t k = 0; k < src.size(); ++k) {
+    out[k] = values[static_cast<size_t>(src[k])];
+  }
+  return out;
+}
+
+void CscMirrorSpmm(const CscMirror& mirror, const float* pv,
+                   const Matrix& dense, Matrix* out, SpmmTVariant variant) {
+  const int64_t m_rows = static_cast<int64_t>(mirror.col_ptr.size()) - 1;
+  const int64_t d = dense.cols();
+  GA_CHECK_EQ(out->rows(), m_rows);
+  GA_CHECK_EQ(out->cols(), d);
+  variant = ResolveVariant(variant, m_rows, mirror.nnz(), dense.rows(), d);
+  const int64_t grain = SpmmTGrain(m_rows, mirror.nnz(), d);
+  if (variant != SpmmTVariant::kTiled) {
+    // kPermuted (and kGather callers pre-permute pv): stream the
+    // contiguous mirror values, gather dense rows directly.
+    ParallelFor(0, m_rows, grain, [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        float* orow = out->row(r);
+        for (int64_t k = mirror.col_ptr[r]; k < mirror.col_ptr[r + 1]; ++k) {
+          const float v = pv[k];
+          const float* drow = dense.row(mirror.row_idx[k]);
+          for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+        }
+      }
+    });
+    return;
+  }
+  // kTiled: sweep source (dense) rows tile by tile so the gathered rows
+  // stay cache-resident; each output row advances a cursor through its
+  // (ascending-source-row) nonzeros, so the per-row accumulation order —
+  // and therefore the result — is bit-for-bit the same as the untiled
+  // stream.
+  const int64_t tile_rows =
+      std::max<int64_t>(1, kTileBytes / (std::max<int64_t>(1, d) *
+                                         static_cast<int64_t>(sizeof(float))));
+  const int64_t src_rows = dense.rows();
+  ParallelFor(0, m_rows, grain, [&](int64_t r0, int64_t r1) {
+    std::vector<int64_t> cursor(static_cast<size_t>(r1 - r0));
+    for (int64_t r = r0; r < r1; ++r) {
+      cursor[static_cast<size_t>(r - r0)] = mirror.col_ptr[r];
+    }
+    for (int64_t t0 = 0; t0 < src_rows; t0 += tile_rows) {
+      const int32_t t1 = static_cast<int32_t>(
+          std::min<int64_t>(src_rows, t0 + tile_rows));
+      for (int64_t r = r0; r < r1; ++r) {
+        int64_t k = cursor[static_cast<size_t>(r - r0)];
+        const int64_t kend = mirror.col_ptr[r + 1];
+        if (k >= kend || mirror.row_idx[k] >= t1) continue;
+        float* orow = out->row(r);
+        do {
+          const float v = pv[k];
+          const float* drow = dense.row(mirror.row_idx[k]);
+          for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+          ++k;
+        } while (k < kend && mirror.row_idx[k] < t1);
+        cursor[static_cast<size_t>(r - r0)] = k;
+      }
+    }
+  });
+}
 
 CsrMatrix CsrMatrix::FromCoo(int64_t rows, int64_t cols,
                              std::vector<CooEntry> entries) {
@@ -63,10 +173,26 @@ CsrMatrix CsrMatrix::Identity(int64_t n) {
   return FromCoo(n, n, std::move(entries));
 }
 
+namespace {
+/// One global mutex for every instance's lazy caches: builds are rare
+/// (once per pattern / value array) and the fast path takes the lock only
+/// long enough to test a pointer.
+std::mutex g_mirror_mu;
+}  // namespace
+
+std::vector<float>* CsrMatrix::mutable_values() {
+  std::lock_guard<std::mutex> lock(g_mirror_mu);
+  mirror_values_cache_.reset();
+  return &values_;
+}
+
 CsrMatrix CsrMatrix::WithValues(std::vector<float> values) const {
   GA_CHECK_EQ(static_cast<int64_t>(values.size()), nnz());
   CsrMatrix m = *this;
   m.values_ = std::move(values);
+  // The pattern cache transfers (value-independent); the permuted-values
+  // cache belongs to the old value array and must not.
+  m.mirror_values_cache_.reset();
   return m;
 }
 
@@ -90,54 +216,69 @@ void CsrMatrix::Spmm(const Matrix& dense, Matrix* out, bool accumulate) const {
               });
 }
 
-const CsrTransposePattern& CsrMatrix::TransposedPattern() const {
-  // One global mutex for every instance: builds are rare (once per pattern)
-  // and the fast path takes the lock only long enough to test the pointer.
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  if (transpose_cache_ == nullptr) {
-    auto tp = std::make_shared<CsrTransposePattern>();
+const CscMirror& CsrMatrix::Mirror() const {
+  std::lock_guard<std::mutex> lock(g_mirror_mu);
+  if (mirror_cache_ == nullptr) {
+    auto mir = std::make_shared<CscMirror>();
     const int64_t n = nnz();
-    tp->row_ptr.assign(cols_ + 1, 0);
-    for (int64_t k = 0; k < n; ++k) tp->row_ptr[col_idx_[k] + 1]++;
-    for (int64_t c = 0; c < cols_; ++c) tp->row_ptr[c + 1] += tp->row_ptr[c];
-    tp->col_idx.resize(n);
-    tp->src.resize(n);
-    std::vector<int64_t> fill(tp->row_ptr.begin(), tp->row_ptr.end() - 1);
-    // Walking nonzeros in (row, col) order makes each transpose row sorted
+    mir->col_ptr.assign(cols_ + 1, 0);
+    for (int64_t k = 0; k < n; ++k) mir->col_ptr[col_idx_[k] + 1]++;
+    for (int64_t c = 0; c < cols_; ++c) mir->col_ptr[c + 1] += mir->col_ptr[c];
+    mir->row_idx.resize(n);
+    mir->src.resize(n);
+    std::vector<int64_t> fill(mir->col_ptr.begin(), mir->col_ptr.end() - 1);
+    // Walking nonzeros in (row, col) order makes each mirror row sorted
     // by original row — the accumulation order of the serial scatter.
     for (int64_t r = 0; r < rows_; ++r) {
       for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
         const int64_t pos = fill[col_idx_[k]]++;
-        tp->col_idx[pos] = static_cast<int32_t>(r);
-        tp->src[pos] = k;
+        mir->row_idx[pos] = static_cast<int32_t>(r);
+        mir->src[pos] = k;
       }
     }
-    transpose_cache_ = std::move(tp);
+    mirror_cache_ = std::move(mir);
   }
-  return *transpose_cache_;
+  return *mirror_cache_;
 }
 
-void CsrMatrix::SpmmT(const Matrix& dense, Matrix* out, bool accumulate) const {
+const std::vector<float>& CsrMatrix::MirrorValues() const {
+  const CscMirror& mir = Mirror();  // ensure the pattern exists first
+  std::lock_guard<std::mutex> lock(g_mirror_mu);
+  if (mirror_values_cache_ == nullptr) {
+    mirror_values_cache_ = std::make_shared<const std::vector<float>>(
+        mir.PermuteValues(values_));
+  }
+  return *mirror_values_cache_;
+}
+
+void CsrMatrix::SpmmT(const Matrix& dense, Matrix* out, bool accumulate,
+                      SpmmTVariant variant) const {
   GA_TRACE_SPAN("spmm_t");
   GA_CHECK_EQ(dense.rows(), rows_);
   if (!accumulate || out->rows() != cols_ || out->cols() != dense.cols()) {
     *out = Matrix(cols_, dense.cols());
   }
-  const CsrTransposePattern& tp = TransposedPattern();
-  const int64_t d = dense.cols();
-  ParallelFor(0, cols_, SpmmGrain(cols_, nnz(), d),
-              [&](int64_t r0, int64_t r1) {
-                for (int64_t r = r0; r < r1; ++r) {
-                  float* orow = out->row(r);
-                  for (int64_t k = tp.row_ptr[r]; k < tp.row_ptr[r + 1];
-                       ++k) {
-                    const float v = values_[tp.src[k]];
-                    const float* drow = dense.row(tp.col_idx[k]);
-                    for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+  const CscMirror& mir = Mirror();
+  if (variant == SpmmTVariant::kGather) {
+    // Legacy reference kernel: no materialized values, double-indirect
+    // gather values_[src[k]]. Same per-row accumulation order, so still
+    // bitwise identical to the streamed variants.
+    const int64_t d = dense.cols();
+    ParallelFor(0, cols_, SpmmTGrain(cols_, nnz(), d),
+                [&](int64_t r0, int64_t r1) {
+                  for (int64_t r = r0; r < r1; ++r) {
+                    float* orow = out->row(r);
+                    for (int64_t k = mir.col_ptr[r]; k < mir.col_ptr[r + 1];
+                         ++k) {
+                      const float v = values_[mir.src[k]];
+                      const float* drow = dense.row(mir.row_idx[k]);
+                      for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
+                    }
                   }
-                }
-              });
+                });
+    return;
+  }
+  CscMirrorSpmm(mir, MirrorValues().data(), dense, out, variant);
 }
 
 CsrMatrix CsrMatrix::Transpose() const {

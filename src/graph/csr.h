@@ -16,23 +16,64 @@ struct CooEntry {
   float value = 0.f;
 };
 
-/// Value-independent transpose of a CSR *pattern*: row j of the transpose
-/// lists the original nonzeros whose column is j, in ascending original-row
-/// order, with `src[k]` pointing back at the original nonzero index. A
-/// transposed product gathers values_[src[k]] at kernel time, so the same
-/// cached pattern serves every value array sharing the pattern (WithValues
-/// copies) and the scatter in SpmmT becomes a race-free row-parallel
-/// gather with the same per-element accumulation order as the serial
-/// scatter.
-struct CsrTransposePattern {
-  std::vector<int64_t> row_ptr;  ///< size cols+1
-  std::vector<int32_t> col_idx;  ///< original row of each nonzero
-  std::vector<int64_t> src;      ///< original nonzero index
+/// Materialized CSC mirror of a CSR matrix — the transpose viewed as its
+/// own compressed structure. Row j of the mirror lists the original
+/// nonzeros whose column is j, in ascending original-row order, with
+/// `src[k]` pointing back at the original nonzero index. The pattern
+/// (col_ptr / row_idx / src) is value-independent, so one build serves
+/// every value array sharing the sparsity (WithValues copies); transposed
+/// products additionally stream a *permuted contiguous* value array
+/// (values in mirror order) so the inner loop pays one indirection — the
+/// dense-row gather — instead of two. The ascending-original-row order
+/// per mirror row reproduces the serial scatter's accumulation order
+/// exactly, which is what keeps every variant bitwise identical.
+struct CscMirror {
+  std::vector<int64_t> col_ptr;  ///< size cols+1
+  std::vector<int32_t> row_idx;  ///< original row of each nonzero
+  std::vector<int64_t> src;      ///< original nonzero index (permutation)
+
+  int64_t nnz() const { return static_cast<int64_t>(row_idx.size()); }
+
+  /// Applies the src permutation to a value array given in original
+  /// nonzero order: out[k] = values[src[k]]. O(nnz).
+  std::vector<float> PermuteValues(const std::vector<float>& values) const;
 };
 
-/// Compressed-sparse-row float matrix. Immutable after construction; the
-/// value array may be swapped out (see WithValues) which is how sampled
-/// edge weights are injected without rebuilding the pattern.
+/// Kernel selection for transposed sparse-dense products. Every variant
+/// produces bitwise-identical output (same per-row accumulation order);
+/// they differ only in memory-access strategy.
+enum class SpmmTVariant {
+  /// Heuristic: kTiled when the gathered dense operand is far larger than
+  /// cache (the bandwidth-bound regime), kPermuted otherwise.
+  kAuto,
+  /// Streams the permuted contiguous mirror values; gathers dense rows
+  /// directly. One level of indirection.
+  kPermuted,
+  /// kPermuted plus a source-row-tiled gather: dense rows are visited
+  /// tile by tile so the gathered working set stays cache-resident;
+  /// per-output-row cursors preserve the exact accumulation order.
+  kTiled,
+  /// Legacy double-indirect gather (values[src[k]], no materialized
+  /// mirror values). Kept as the benchmark reference point.
+  kGather,
+};
+
+/// Shared transposed-product kernel: out->row(j) += pv[k] * dense.row(
+/// row_idx[k]) for k in [col_ptr[j], col_ptr[j+1]), where `pv` holds nnz
+/// values already in mirror (permuted) order. `out` must be pre-sized to
+/// (mirror rows x dense.cols()); existing contents are accumulated into.
+/// Row-parallel over the shared runtime; bitwise deterministic at any
+/// thread count and across the kPermuted/kTiled variants (kAuto resolves
+/// to one of them). Also used by the edge-weighted SpMM backward, whose
+/// gradient merge streams sampled edge values through the same mirror.
+void CscMirrorSpmm(const CscMirror& mirror, const float* pv,
+                   const Matrix& dense, Matrix* out,
+                   SpmmTVariant variant = SpmmTVariant::kAuto);
+
+/// Compressed-sparse-row float matrix. The pattern is immutable after
+/// construction; the value array may be swapped out (see WithValues) or
+/// mutated in place (see mutable_values), which is how sampled edge
+/// weights are injected without rebuilding the pattern.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -51,12 +92,18 @@ class CsrMatrix {
   const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
   const std::vector<int32_t>& col_idx() const { return col_idx_; }
   const std::vector<float>& values() const { return values_; }
-  std::vector<float>* mutable_values() { return &values_; }
+
+  /// In-place access to the value array. Every call invalidates this
+  /// instance's cached mirror values (the permuted copy is rebuilt on the
+  /// next transposed product); callers must not stash the pointer across
+  /// products. The shared pattern cache is value-independent and stays.
+  std::vector<float>* mutable_values();
 
   /// Returns a copy of this matrix with the same pattern but new values
-  /// (size must equal nnz()). The copy shares this matrix's cached
-  /// transpose pattern — the cache is value-independent, so swapping the
-  /// value array never invalidates it.
+  /// (size must equal nnz()). The copy shares this matrix's cached CSC
+  /// mirror *pattern* — value-independent, so swapping the value array
+  /// never invalidates it — but drops the permuted mirror-values cache,
+  /// which is rebuilt lazily for the new values.
   CsrMatrix WithValues(std::vector<float> values) const;
 
   /// Sparse-dense product: out = this * dense. dense.rows() must equal
@@ -65,15 +112,22 @@ class CsrMatrix {
   /// thread count.
   void Spmm(const Matrix& dense, Matrix* out, bool accumulate = false) const;
 
-  /// Transposed sparse-dense product: out = this^T * dense. Implemented as
-  /// a row-parallel gather over TransposedPattern() (built and cached on
-  /// first use), bitwise identical to the serial scatter formulation.
-  void SpmmT(const Matrix& dense, Matrix* out, bool accumulate = false) const;
+  /// Transposed sparse-dense product: out = this^T * dense. Streams the
+  /// materialized CSC mirror (built and cached on first use), bitwise
+  /// identical to the serial scatter formulation at any thread count and
+  /// for every variant.
+  void SpmmT(const Matrix& dense, Matrix* out, bool accumulate = false,
+             SpmmTVariant variant = SpmmTVariant::kAuto) const;
 
-  /// Lazily built, thread-safe transpose of the sparsity pattern; shared
-  /// by all value-copies of this matrix (the pattern is immutable after
+  /// Lazily built, thread-safe CSC mirror pattern; shared by all
+  /// value-copies of this matrix (the pattern is immutable after
   /// construction).
-  const CsrTransposePattern& TransposedPattern() const;
+  const CscMirror& Mirror() const;
+
+  /// Lazily built permuted contiguous value array (values in mirror
+  /// order), cached per value-array: invalidated by mutable_values() and
+  /// dropped by WithValues copies. Thread-safe.
+  const std::vector<float>& MirrorValues() const;
 
   /// Transposed copy (pattern + values).
   CsrMatrix Transpose() const;
@@ -90,10 +144,15 @@ class CsrMatrix {
   std::vector<int64_t> row_ptr_;   // size rows_+1
   std::vector<int32_t> col_idx_;   // size nnz
   std::vector<float> values_;      // size nnz
-  /// Lazy transpose-pattern cache (see TransposedPattern()). Copied
-  /// pointer-wise with the matrix: any copy shares the same immutable
-  /// pattern, so the cached transpose stays valid for it.
-  mutable std::shared_ptr<const CsrTransposePattern> transpose_cache_;
+  /// Lazy mirror-pattern cache (see Mirror()). Copied pointer-wise with
+  /// the matrix: any copy shares the same immutable pattern, so the
+  /// cached mirror stays valid for it.
+  mutable std::shared_ptr<const CscMirror> mirror_cache_;
+  /// Lazy permuted-values cache (see MirrorValues()). Valid only for the
+  /// exact value array it was built from: copies made by the implicit
+  /// copy constructor carry identical values so the shared pointer stays
+  /// consistent, while WithValues and mutable_values() reset it.
+  mutable std::shared_ptr<const std::vector<float>> mirror_values_cache_;
 };
 
 }  // namespace graphaug

@@ -55,6 +55,67 @@ TEST(CsrTest, WithValuesSwapsValuesOnly) {
   EXPECT_DEATH(m.WithValues({1.f}), "");
 }
 
+TEST(CsrTest, SpmmTVariantsMatchReference) {
+  CsrMatrix m = CsrMatrix::FromCoo(
+      5, 4,
+      {{0, 1, 2.f}, {1, 0, -1.f}, {1, 3, 0.5f}, {2, 2, 1.5f},
+       {3, 1, 4.f}, {4, 0, -2.5f}, {4, 3, 3.f}});
+  Matrix x(5, 3);
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = 0.25f * static_cast<float>(i);
+  Matrix ref;
+  m.Transpose().Spmm(x, &ref);
+  for (SpmmTVariant v : {SpmmTVariant::kAuto, SpmmTVariant::kPermuted,
+                         SpmmTVariant::kTiled, SpmmTVariant::kGather}) {
+    Matrix out;
+    m.SpmmT(x, &out, /*accumulate=*/false, v);
+    EXPECT_TRUE(AllClose(ref, out)) << "variant=" << static_cast<int>(v);
+  }
+}
+
+TEST(CsrTest, MutatingValuesInvalidatesMirrorValues) {
+  // Satellite fix: building the mirror, then mutating values in place,
+  // must not leave SpmmT reading a stale permuted-values cache.
+  CsrMatrix m = CsrMatrix::FromCoo(
+      3, 3, {{0, 1, 1.f}, {1, 0, 2.f}, {1, 2, 3.f}, {2, 1, 4.f}});
+  Matrix x(3, 2, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Matrix before;
+  m.SpmmT(x, &before);  // builds and caches mirror pattern + values
+
+  (*m.mutable_values())[1] = 20.f;  // the (1,0) entry
+  Matrix after, fresh_ref;
+  m.SpmmT(x, &after);
+  m.Transpose().Spmm(x, &fresh_ref);  // independent reference, new values
+  EXPECT_TRUE(AllClose(after, fresh_ref));
+  EXPECT_FALSE(AllClose(after, before));
+}
+
+TEST(CsrTest, WithValuesCopyMutationDoesNotCorruptSharedCaches) {
+  // The mirror *pattern* is shared across WithValues copies; the permuted
+  // values cache must not be. Mutating a copy in place must neither read
+  // stale state in the copy nor poison the original.
+  CsrMatrix m = CsrMatrix::FromCoo(
+      4, 3, {{0, 0, 1.f}, {1, 2, 2.f}, {2, 1, 3.f}, {3, 0, 4.f}});
+  Matrix x(4, 2);
+  for (int64_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i + 1);
+  Matrix orig;
+  m.SpmmT(x, &orig);  // warm the shared caches on the original
+
+  CsrMatrix c = m.WithValues({10.f, 20.f, 30.f, 40.f});
+  Matrix copy_before;
+  c.SpmmT(x, &copy_before);  // warms the copy's own values cache
+  (*c.mutable_values())[2] = -30.f;
+  Matrix copy_after, copy_ref;
+  c.SpmmT(x, &copy_after);
+  c.Transpose().Spmm(x, &copy_ref);
+  EXPECT_TRUE(AllClose(copy_after, copy_ref));
+  EXPECT_FALSE(AllClose(copy_after, copy_before));
+
+  // The original still sees its own values.
+  Matrix orig_again;
+  m.SpmmT(x, &orig_again);
+  EXPECT_TRUE(AllClose(orig, orig_again));
+}
+
 TEST(BipartiteGraphTest, DedupsAndIndexes) {
   BipartiteGraph g(3, 2, {{0, 0}, {0, 0}, {0, 1}, {2, 1}});
   EXPECT_EQ(g.num_edges(), 3);

@@ -1,0 +1,410 @@
+// Benchmark regression gate: compares a freshly generated
+// BENCH_kernels.json against a committed baseline and fails when any
+// kernel's multi-thread speedup dropped by more than --max-drop (default
+// 10%), or when the fresh run reports a determinism violation.
+//
+// Comparison is by (kernel name, thread count) on the speedup_vs_1 ratio
+// — a machine-relative quantity, so a baseline generated on one box is a
+// meaningful reference for reruns on the same box (CI regenerates both
+// sides in one job). Kernels or thread counts present on one side only
+// are reported but never fail the gate, so the baseline can grow.
+//
+// Usage:
+//   bench_compare --baseline=BENCH_kernels.json --current=fresh.json
+//                 [--max-drop=0.10]
+//   bench_compare --selftest        # exercises the parser and the gate
+//
+// Exit codes: 0 ok, 1 regression (or determinism violation), 2 usage /
+// parse error.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace graphaug {
+namespace {
+
+// ------------------------------------------------------ minimal JSON value
+// Self-contained parser for the subset of JSON the bench writer emits:
+// objects, arrays, strings (no escapes beyond \" \\ \/ \n \t), numbers,
+// booleans, null. Tools-only code — the training binaries never parse JSON.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    const bool ok = ParseValue(out) && (SkipWs(), pos_ == s_.size());
+    if (!ok && error != nullptr) {
+      std::ostringstream oss;
+      oss << "JSON parse error near offset " << pos_;
+      *error = oss.str();
+    }
+    return ok;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: return false;  // \uXXXX etc. never emitted by the bench
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (Literal("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (Literal("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (Literal("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    // Number.
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->fields.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->items.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- the gate
+
+/// speedup_vs_1 and determinism per (kernel, threads).
+struct RunPoint {
+  double speedup = 0;
+  bool bitwise = true;
+};
+using RunTable = std::map<std::pair<std::string, int>, RunPoint>;
+
+bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
+  const JsonValue* kernels = root.Find("kernels");
+  if (kernels == nullptr || kernels->type != JsonValue::Type::kArray) {
+    *error = "missing \"kernels\" array";
+    return false;
+  }
+  for (const JsonValue& k : kernels->items) {
+    const JsonValue* name = k.Find("name");
+    const JsonValue* runs = k.Find("runs");
+    if (name == nullptr || name->type != JsonValue::Type::kString ||
+        runs == nullptr || runs->type != JsonValue::Type::kArray) {
+      *error = "kernel entry missing \"name\" or \"runs\"";
+      return false;
+    }
+    for (const JsonValue& r : runs->items) {
+      const JsonValue* threads = r.Find("threads");
+      const JsonValue* speedup = r.Find("speedup_vs_1");
+      const JsonValue* bitwise = r.Find("bitwise_equal_to_serial");
+      if (threads == nullptr || speedup == nullptr) {
+        *error = "run entry missing \"threads\" or \"speedup_vs_1\"";
+        return false;
+      }
+      RunPoint p;
+      p.speedup = speedup->number;
+      p.bitwise = bitwise == nullptr || bitwise->boolean;
+      (*out)[{name->str, static_cast<int>(threads->number)}] = p;
+    }
+  }
+  return true;
+}
+
+/// Returns the number of failures (regressions + determinism violations);
+/// prints one line per comparison point.
+int Compare(const RunTable& baseline, const RunTable& current,
+            double max_drop) {
+  int failures = 0;
+  for (const auto& [key, base] : baseline) {
+    const auto& [name, threads] = key;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::printf("SKIP  %-28s t=%d  (not in current run)\n", name.c_str(),
+                  threads);
+      continue;
+    }
+    const RunPoint& cur = it->second;
+    if (!cur.bitwise) {
+      std::printf("FAIL  %-28s t=%d  determinism violation\n", name.c_str(),
+                  threads);
+      ++failures;
+      continue;
+    }
+    if (threads <= 1) continue;  // the serial point defines the ratio
+    const double drop = (base.speedup - cur.speedup) / base.speedup;
+    const bool bad = drop > max_drop;
+    std::printf("%s  %-28s t=%d  baseline=%.3fx current=%.3fx drop=%+.1f%%\n",
+                bad ? "FAIL" : "OK  ", name.c_str(), threads, base.speedup,
+                cur.speedup, 100.0 * drop);
+    if (bad) ++failures;
+  }
+  for (const auto& [key, cur] : current) {
+    if (baseline.find(key) == baseline.end()) {
+      std::printf("NEW   %-28s t=%d  current=%.3fx (no baseline)\n",
+                  key.first.c_str(), key.second, cur.speedup);
+    }
+  }
+  return failures;
+}
+
+bool LoadRuns(const std::string& path, RunTable* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  JsonValue root;
+  std::string error;
+  JsonParser parser(text);
+  if (!parser.Parse(&root, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (!ExtractRuns(root, out, &error)) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- selftest
+
+int SelfTest() {
+  const std::string base_json = R"({
+    "generated_by": "bench_micro_kernels", "fast_mode": false,
+    "kernels": [
+      {"name": "spmm", "shape": "x", "work": 1e6, "runs": [
+        {"threads": 1, "seconds": 1.0, "speedup_vs_1": 1.0,
+         "bitwise_equal_to_serial": true},
+        {"threads": 2, "seconds": 0.5, "speedup_vs_1": 2.0,
+         "bitwise_equal_to_serial": true}]},
+      {"name": "gone", "shape": "x", "work": 1.0, "runs": [
+        {"threads": 2, "seconds": 1.0, "speedup_vs_1": 1.5,
+         "bitwise_equal_to_serial": true}]}
+    ]})";
+  // spmm t=2 drops 2.0 -> 1.75 (-12.5%): must fail at 10%, pass at 20%.
+  // "fresh" is new (never fails); "gone" is missing (never fails).
+  const std::string cur_json = R"({
+    "kernels": [
+      {"name": "spmm", "shape": "x", "work": 1e6, "runs": [
+        {"threads": 1, "seconds": 1.0, "speedup_vs_1": 1.0,
+         "bitwise_equal_to_serial": true},
+        {"threads": 2, "seconds": 0.57, "speedup_vs_1": 1.75,
+         "bitwise_equal_to_serial": true}]},
+      {"name": "fresh", "shape": "x", "work": 1.0, "runs": [
+        {"threads": 2, "seconds": 1.0, "speedup_vs_1": 0.4,
+         "bitwise_equal_to_serial": true}]}
+    ]})";
+  const std::string racy_json = R"({
+    "kernels": [
+      {"name": "spmm", "shape": "x", "work": 1e6, "runs": [
+        {"threads": 2, "seconds": 0.5, "speedup_vs_1": 2.0,
+         "bitwise_equal_to_serial": false}]}
+    ]})";
+
+  auto parse = [](const std::string& text, RunTable* out) {
+    JsonValue root;
+    std::string error;
+    JsonParser parser(text);
+    if (!parser.Parse(&root, &error)) return false;
+    return ExtractRuns(root, out, &error);
+  };
+  RunTable base, cur, racy;
+  if (!parse(base_json, &base) || !parse(cur_json, &cur) ||
+      !parse(racy_json, &racy)) {
+    std::fprintf(stderr, "selftest: parse failed\n");
+    return 1;
+  }
+  if (base.size() != 3 || cur.size() != 3) {
+    std::fprintf(stderr, "selftest: wrong table size\n");
+    return 1;
+  }
+  if (Compare(base, cur, 0.10) != 1) {
+    std::fprintf(stderr, "selftest: 12.5%% drop must fail a 10%% gate\n");
+    return 1;
+  }
+  if (Compare(base, cur, 0.20) != 0) {
+    std::fprintf(stderr, "selftest: 12.5%% drop must pass a 20%% gate\n");
+    return 1;
+  }
+  if (Compare(base, racy, 0.10) != 1) {
+    std::fprintf(stderr, "selftest: determinism violation must fail\n");
+    return 1;
+  }
+  std::printf("bench_compare selftest: ok\n");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("selftest", false)) return SelfTest();
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string current_path = flags.GetString("current", "");
+  const double max_drop = flags.GetDouble("max-drop", 0.10);
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline=FILE --current=FILE "
+                 "[--max-drop=0.10] | --selftest\n");
+    return 2;
+  }
+  RunTable baseline, current;
+  if (!LoadRuns(baseline_path, &baseline) ||
+      !LoadRuns(current_path, &current)) {
+    return 2;
+  }
+  const int failures = Compare(baseline, current, max_drop);
+  if (failures > 0) {
+    std::printf("bench_compare: %d regression(s) beyond %.0f%%\n", failures,
+                100.0 * max_drop);
+    return 1;
+  }
+  std::printf("bench_compare: all kernels within %.0f%% of baseline\n",
+              100.0 * max_drop);
+  return 0;
+}
+
+}  // namespace
+}  // namespace graphaug
+
+int main(int argc, char** argv) { return graphaug::Run(argc, argv); }
