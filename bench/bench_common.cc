@@ -88,11 +88,11 @@ GraphAugConfig MakeGraphAugConfig(const BenchSettings& settings,
   if (seed != 0) cfg.seed = seed;
   if (dataset_name == "gowalla-sim") {
     cfg.mixhop_activation = true;
-    cfg.gib_pred_weight = 0.5f;
+    cfg.augmentor.gib.gib_pred_weight = 0.5f;
   } else if (!dataset_name.empty()) {
     // Sparse presets (retailrocket-sim / amazon-sim).
     cfg.mixhop_activation = false;
-    cfg.gib_pred_weight = 1.0f;
+    cfg.augmentor.gib.gib_pred_weight = 1.0f;
   }
   return cfg;
 }

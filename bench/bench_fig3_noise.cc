@@ -31,7 +31,7 @@ int main() {
     // Corrupt the training graph (test set untouched).
     Rng rng(static_cast<uint64_t>(1000 * ratio) + 7);
     Dataset noisy = data.dataset;
-    BipartiteGraph g = AddRandomEdges(data.dataset.TrainGraph(), ratio, &rng);
+    BipartiteGraph g = AddRandomEdges(data.dataset.TrainGraph(), ratio, rng);
     noisy.train_edges = g.edges();
     noisy.noise_flags.clear();
     for (const std::string& m : models) {

@@ -27,7 +27,7 @@ int main() {
     Table t({"beta1 (GIB)", "Recall@20", "NDCG@20"});
     for (float b1 : {1e-6f, 1e-5f, 1e-4f, 1e-3f, 1e-1f, 1.f}) {
       GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, "gowalla-sim");
-      cfg.beta1 = b1;
+      cfg.augmentor.gib.beta1 = b1;
       bench::RunResult r = run(cfg);
       char label[32];
       std::snprintf(label, sizeof(label), "%.0e", b1);

@@ -20,12 +20,12 @@ int main() {
     Table t({"Aug Ratio", "Recall@20", "Recall@40", "NDCG@20", "NDCG@40"});
     for (float xi : {0.0f, 0.2f, 0.4f, 0.6f, 0.8f}) {
       GraphAugConfig cfg = bench::MakeGraphAugConfig(settings, 0, ds);
-      cfg.edge_threshold = xi;
+      cfg.augmentor.gib.edge_threshold = xi;
       // Run the sweep with the structure-KL bound active: it keeps the
       // learned retention probabilities mid-range (the regime the paper's
       // sweep operates in). With the default config the scorer saturates
       // p ≈ 1 and ξ barely changes the sampled views (flat sweep).
-      cfg.structure_kl_weight = 0.15f;
+      cfg.augmentor.gib.structure_kl_weight = 0.15f;
       GraphAug model(&data.dataset, cfg);
       bench::RunResult r =
           bench::RunRecommender(&model, data.dataset, settings);

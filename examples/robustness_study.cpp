@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
       if (ratio > 0) {
         Rng rng(static_cast<uint64_t>(1000 * ratio) + 11);
         corrupted.train_edges =
-            AddRandomEdges(data.dataset.TrainGraph(), ratio, &rng).edges();
+            AddRandomEdges(data.dataset.TrainGraph(), ratio, rng).edges();
         corrupted.noise_flags.clear();
       }
       auto model = CreateModel(name, &corrupted, config);

@@ -1,0 +1,74 @@
+#include "augment/advcl_augmenter.h"
+
+#include <algorithm>
+
+#include "models/propagation.h"
+
+namespace graphaug {
+
+Var AdvClInnerLoss(Tape* tape, Parameter* delta,
+                   const NormalizedAdjacency* adj, const Matrix& base,
+                   const Matrix& reference,
+                   const std::vector<int32_t>& nodes, int num_layers,
+                   float temperature) {
+  Var d = ag::Leaf(tape, delta);
+  Var w = ag::AddScalar(d, 1.f);
+  Var b = ag::Constant(tape, base);
+  Var h_adv = WeightedLightGcnPropagate(tape, adj, w, b, num_layers);
+  Var h_ref = ag::Constant(tape, reference);
+  return ag::InfoNceLoss(ag::GatherRows(h_adv, nodes),
+                         ag::GatherRows(h_ref, nodes), temperature);
+}
+
+void AdvClAugmenter::Init(const AugmenterInit& init) {
+  adj_ = init.adj;
+  graph_ = init.graph;
+  num_layers_ = init.num_layers;
+  delta_ = inner_store_.Create("advcl.delta", graph_->num_edges(), 1);
+}
+
+AugmentedViews AdvClAugmenter::Augment(const AugmenterState& state) {
+  const int64_t num_edges = graph_->num_edges();
+  const int32_t num_nodes = graph_->num_nodes();
+  const int n =
+      static_cast<int>(std::min<int64_t>(config_.contrast_nodes, num_nodes));
+  std::vector<int32_t> nodes(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes[static_cast<size_t>(i)] =
+        static_cast<int32_t>(state.rng->UniformInt(
+            static_cast<uint64_t>(num_nodes)));
+  }
+
+  // Inner ascent: one gradient of the contrastive loss w.r.t. the edge
+  // perturbation, on a private tape so no host gradient accumulates.
+  delta_->value.Zero();
+  delta_->ZeroGrad();
+  {
+    Tape inner;
+    Var loss = AdvClInnerLoss(&inner, delta_, adj_, state.base.value(),
+                              state.h_bar.value(), nodes, num_layers_,
+                              config_.temperature);
+    inner.Backward(loss);
+  }
+
+  // Hard view: FGSM step in the loss-increasing direction.
+  Matrix w_adv(num_edges, 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    const float g = delta_->grad[e];
+    const float sign = g > 0.f ? 1.f : (g < 0.f ? -1.f : 0.f);
+    w_adv[e] = 1.f + config_.epsilon * sign;
+  }
+  // Benign view: small uniform weight jitter.
+  Matrix w_rnd(num_edges, 1);
+  for (int64_t e = 0; e < num_edges; ++e) {
+    w_rnd[e] = 1.f + config_.noise_scale *
+                         (2.f * state.rng->UniformFloat() - 1.f);
+  }
+
+  AugmentedViews views;
+  views.first.edge_weights = ag::Constant(state.tape, std::move(w_adv));
+  views.second.edge_weights = ag::Constant(state.tape, std::move(w_rnd));
+  return views;
+}
+
+}  // namespace graphaug

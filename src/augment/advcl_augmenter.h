@@ -1,0 +1,52 @@
+#ifndef GRAPHAUG_AUGMENT_ADVCL_AUGMENTER_H_
+#define GRAPHAUG_AUGMENT_ADVCL_AUGMENTER_H_
+
+#include <vector>
+
+#include "augment/augmenter.h"
+
+namespace graphaug {
+
+/// Inner objective of the adversarial step, exposed as a free function so
+/// the finite-difference gradient test can exercise the exact loss the
+/// augmentor ascends. Builds, on `tape`, the InfoNCE loss between
+/// (a) embeddings propagated through the adjacency with per-edge weights
+/// 1 + delta (delta being the trainable perturbation leaf) and
+/// (b) the fixed reference embeddings, gathered at `nodes`.
+Var AdvClInnerLoss(Tape* tape, Parameter* delta,
+                   const NormalizedAdjacency* adj, const Matrix& base,
+                   const Matrix& reference,
+                   const std::vector<int32_t>& nodes, int num_layers,
+                   float temperature);
+
+/// AdvCL-style adversarial augmentation (arXiv 2302.02317 adapted to
+/// edge-weight space): each batch takes one FGSM-style gradient-ascent
+/// step on per-edge weight perturbations against the contrastive loss —
+/// the hard view uses weights 1 + ε·sign(∂L/∂δ), the benign view a small
+/// uniform weight jitter. The inner ascent runs on a private tape and a
+/// private parameter store, so host parameter gradients are untouched;
+/// the resulting weights enter the host tape as constants (the outer
+/// gradient flows through the dense operand of the weighted propagation,
+/// as in standard adversarial training).
+class AdvClAugmenter : public GraphAugmenter {
+ public:
+  explicit AdvClAugmenter(const AdvClAugmentorConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "advcl"; }
+
+  void Init(const AugmenterInit& init) override;
+  AugmentedViews Augment(const AugmenterState& state) override;
+
+ private:
+  AdvClAugmentorConfig config_;
+  const NormalizedAdjacency* adj_ = nullptr;
+  const BipartiteGraph* graph_ = nullptr;
+  int num_layers_ = 0;
+  ParamStore inner_store_;     ///< private: holds only the perturbation
+  Parameter* delta_ = nullptr; ///< (E x 1) edge-weight perturbation
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUGMENT_ADVCL_AUGMENTER_H_

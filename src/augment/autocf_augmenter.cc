@@ -1,0 +1,76 @@
+#include "augment/autocf_augmenter.h"
+
+namespace graphaug {
+namespace {
+
+/// Constant (E x 1) weight vector with zeros at the masked edges.
+Matrix MaskWeights(int64_t num_edges, const std::vector<int64_t>& masked) {
+  Matrix w(num_edges, 1, 1.f);
+  for (int64_t e : masked) w[e] = 0.f;
+  return w;
+}
+
+}  // namespace
+
+void AutoCfAugmenter::Init(const AugmenterInit& init) {
+  graph_ = init.graph;
+}
+
+void AutoCfAugmenter::Adapt(int epoch, Rng* rng) {
+  (void)epoch;
+  const int64_t num_edges = graph_->num_edges();
+  masked_a_.clear();
+  masked_b_.clear();
+  for (int64_t e = 0; e < num_edges; ++e) {
+    if (rng->Bernoulli(config_.mask_ratio)) masked_a_.push_back(e);
+  }
+  for (int64_t e = 0; e < num_edges; ++e) {
+    if (rng->Bernoulli(config_.mask_ratio)) masked_b_.push_back(e);
+  }
+  adapted_ = true;
+}
+
+AugmentedViews AutoCfAugmenter::Augment(const AugmenterState& state) {
+  GA_CHECK(adapted_) << "AutoCfAugmenter::Augment before first Adapt";
+  const int64_t num_edges = graph_->num_edges();
+  AugmentedViews views;
+  views.first.edge_weights =
+      ag::Constant(state.tape, MaskWeights(num_edges, masked_a_));
+  views.second.edge_weights =
+      ag::Constant(state.tape, MaskWeights(num_edges, masked_b_));
+  return views;
+}
+
+Var AutoCfAugmenter::ReconstructionTerm(Tape* tape, Var z,
+                                        const std::vector<int64_t>& masked,
+                                        Rng* rng) const {
+  const int32_t item_offset = graph_->num_users();
+  const std::vector<Edge>& edges = graph_->edges();
+  std::vector<int32_t> users, pos_nodes, neg_nodes;
+  users.reserve(masked.size());
+  pos_nodes.reserve(masked.size());
+  neg_nodes.reserve(masked.size());
+  for (int64_t e : masked) {
+    users.push_back(edges[static_cast<size_t>(e)].user);
+    pos_nodes.push_back(item_offset + edges[static_cast<size_t>(e)].item);
+    neg_nodes.push_back(item_offset +
+                        static_cast<int32_t>(rng->UniformInt(
+                            static_cast<uint64_t>(graph_->num_items()))));
+  }
+  Var u = ag::GatherRows(z, users);
+  Var p = ag::GatherRows(z, pos_nodes);
+  Var n = ag::GatherRows(z, neg_nodes);
+  return ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
+}
+
+Var AutoCfAugmenter::AuxLoss(const AugmenterState& state, Var z_prime,
+                             Var z_dprime) {
+  // Tiny graphs (or small mask ratios) can leave a view without masked
+  // edges; reconstruction then has nothing to rank.
+  if (masked_a_.empty() || masked_b_.empty()) return Var();
+  Var ra = ReconstructionTerm(state.tape, z_prime, masked_a_, state.rng);
+  Var rb = ReconstructionTerm(state.tape, z_dprime, masked_b_, state.rng);
+  return ag::Scale(ag::Add(ra, rb), 0.5f * config_.recon_weight);
+}
+
+}  // namespace graphaug

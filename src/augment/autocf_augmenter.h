@@ -1,0 +1,44 @@
+#ifndef GRAPHAUG_AUGMENT_AUTOCF_AUGMENTER_H_
+#define GRAPHAUG_AUGMENT_AUTOCF_AUGMENTER_H_
+
+#include <vector>
+
+#include "augment/augmenter.h"
+
+namespace graphaug {
+
+/// AutoCF-style masked-autoencoder augmentation (arXiv 2303.07797,
+/// simplified to the shared LightGCN-style backbone): Adapt draws two
+/// independent random edge masks per epoch; Augment presents each masked
+/// graph as a constant 0/1 edge-weight view; AuxLoss asks each view's
+/// embeddings to rank their own held-out (masked) edges above random
+/// negatives — the reconstruction signal that makes the masked view an
+/// autoencoder rather than plain dropout.
+class AutoCfAugmenter : public GraphAugmenter {
+ public:
+  explicit AutoCfAugmenter(const AutoCfAugmentorConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "autocf"; }
+
+  void Init(const AugmenterInit& init) override;
+  void Adapt(int epoch, Rng* rng) override;
+  AugmentedViews Augment(const AugmenterState& state) override;
+  Var AuxLoss(const AugmenterState& state, Var z_prime,
+              Var z_dprime) override;
+
+ private:
+  /// BPR ranking of the masked edges of one view against random negative
+  /// items drawn from `rng`.
+  Var ReconstructionTerm(Tape* tape, Var z,
+                         const std::vector<int64_t>& masked, Rng* rng) const;
+
+  AutoCfAugmentorConfig config_;
+  const BipartiteGraph* graph_ = nullptr;
+  std::vector<int64_t> masked_a_, masked_b_;  ///< masked edge indices
+  bool adapted_ = false;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUGMENT_AUTOCF_AUGMENTER_H_

@@ -1,4 +1,4 @@
-#include "core/edge_scorer.h"
+#include "augment/edge_scorer.h"
 
 #include "tensor/init.h"
 

@@ -1,5 +1,5 @@
-#ifndef GRAPHAUG_CORE_EDGE_SCORER_H_
-#define GRAPHAUG_CORE_EDGE_SCORER_H_
+#ifndef GRAPHAUG_AUGMENT_EDGE_SCORER_H_
+#define GRAPHAUG_AUGMENT_EDGE_SCORER_H_
 
 #include <vector>
 
@@ -39,4 +39,4 @@ class EdgeScorer {
 
 }  // namespace graphaug
 
-#endif  // GRAPHAUG_CORE_EDGE_SCORER_H_
+#endif  // GRAPHAUG_AUGMENT_EDGE_SCORER_H_

@@ -1,0 +1,31 @@
+#include "augment/edgedrop_augmenter.h"
+
+#include "graph/corruption.h"
+
+namespace graphaug {
+
+void EdgeDropAugmenter::Init(const AugmenterInit& init) {
+  graph_ = init.graph;
+}
+
+void EdgeDropAugmenter::Adapt(int epoch, Rng* rng) {
+  (void)epoch;
+  // Both corrupted graphs are drawn before either adjacency is built, so
+  // the RNG stream is exactly [drop A, drop B] per epoch.
+  view_a_ = DropEdges(*graph_, config_.drop_prob, *rng);
+  view_b_ = DropEdges(*graph_, config_.drop_prob, *rng);
+  adj_a_ = view_a_.BuildNormalizedAdjacency(config_.self_loop_weight);
+  adj_b_ = view_b_.BuildNormalizedAdjacency(config_.self_loop_weight);
+  adapted_ = true;
+}
+
+AugmentedViews EdgeDropAugmenter::Augment(const AugmenterState& state) {
+  (void)state;
+  GA_CHECK(adapted_) << "EdgeDropAugmenter::Augment before first Adapt";
+  AugmentedViews views;
+  views.first.adjacency = &adj_a_;
+  views.second.adjacency = &adj_b_;
+  return views;
+}
+
+}  // namespace graphaug

@@ -1,0 +1,34 @@
+#ifndef GRAPHAUG_AUGMENT_EDGEDROP_AUGMENTER_H_
+#define GRAPHAUG_AUGMENT_EDGEDROP_AUGMENTER_H_
+
+#include "augment/augmenter.h"
+
+namespace graphaug {
+
+/// SGL-style stochastic edge dropout behind the GraphAugmenter interface:
+/// Adapt resamples two independently corrupted graphs per epoch (the draw
+/// order matches the pre-interface Sgl model exactly — view A fully drawn
+/// before view B — which the golden parity test pins); Augment hands out
+/// the prebuilt normalized adjacencies as structural views.
+class EdgeDropAugmenter : public GraphAugmenter {
+ public:
+  explicit EdgeDropAugmenter(const EdgeDropAugmentorConfig& config)
+      : config_(config) {}
+
+  std::string name() const override { return "edgedrop"; }
+
+  void Init(const AugmenterInit& init) override;
+  void Adapt(int epoch, Rng* rng) override;
+  AugmentedViews Augment(const AugmenterState& state) override;
+
+ private:
+  EdgeDropAugmentorConfig config_;
+  const BipartiteGraph* graph_ = nullptr;
+  BipartiteGraph view_a_, view_b_;
+  NormalizedAdjacency adj_a_, adj_b_;
+  bool adapted_ = false;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUGMENT_EDGEDROP_AUGMENTER_H_

@@ -1,4 +1,4 @@
-#include "core/gib.h"
+#include "augment/gib.h"
 
 #include <cmath>
 

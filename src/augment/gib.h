@@ -1,5 +1,5 @@
-#ifndef GRAPHAUG_CORE_GIB_H_
-#define GRAPHAUG_CORE_GIB_H_
+#ifndef GRAPHAUG_AUGMENT_GIB_H_
+#define GRAPHAUG_AUGMENT_GIB_H_
 
 #include "autograd/ops.h"
 #include "data/sampler.h"
@@ -54,4 +54,4 @@ Var BernoulliStructureKl(Tape* tape, Var probs, float prior);
 
 }  // namespace graphaug
 
-#endif  // GRAPHAUG_CORE_GIB_H_
+#endif  // GRAPHAUG_AUGMENT_GIB_H_

@@ -1,0 +1,71 @@
+#include "augment/gib_augmenter.h"
+
+#include "augment/gib.h"
+#include "augment/reparam_sampler.h"
+#include "obs/health.h"
+
+namespace graphaug {
+
+void GibAugmenter::Init(const AugmenterInit& init) {
+  graph_ = init.graph;
+  scorer_ = std::make_unique<EdgeScorer>(init.store, "augmentor", init.dim,
+                                         init.rng, config_.scorer_noise);
+}
+
+AugmentedViews GibAugmenter::Augment(const AugmenterState& state) {
+  // (Eq. 4) Learnable augmentor scores every observed interaction.
+  probs_ = scorer_->Score(state.tape, state.h_bar, graph_->edges(),
+                          graph_->num_users(), state.rng);
+
+  // (Eq. 5 / Alg. 1 line 4) Two reparameterized graph samples.
+  AugmentedViews views;
+  views.first.edge_weights =
+      SampleEdgeWeights(state.tape, probs_, config_.concrete_temperature,
+                        config_.edge_threshold, state.rng);
+  views.second.edge_weights =
+      SampleEdgeWeights(state.tape, probs_, config_.concrete_temperature,
+                        config_.edge_threshold, state.rng);
+  return views;
+}
+
+Var GibAugmenter::AuxLoss(const AugmenterState& state, Var z_prime,
+                          Var z_dprime) {
+  if (!config_.gib_loss) return Var();
+  const int32_t item_offset = graph_->num_users();
+
+  // (Eq. 9-10 / Alg. 1 lines 6-7) The prediction bound anchors the
+  // augmentor to the labels at O(1) weight; the KL compression bound
+  // carries the swept Lagrange weight β₁ (Fig. 5).
+  Var pred = ag::Scale(
+      ag::Add(GibPredictionTerm(state.tape, z_prime, *state.batch,
+                                item_offset),
+              GibPredictionTerm(state.tape, z_dprime, *state.batch,
+                                item_offset)),
+      0.5f * config_.gib_pred_weight);
+  Var kl = GibCompressionTerm(state.tape, state.h_bar, z_prime, z_dprime);
+  if (obs::Enabled()) {
+    obs::HealthTracker::Get().RecordLossComponent("gib_pred",
+                                                  pred.value().scalar());
+    obs::HealthTracker::Get().RecordLossComponent(
+        "gib_kl", kl.value().scalar() * config_.beta1 * config_.gib_beta);
+  }
+  Var aux = ag::Add(pred, ag::Scale(kl, config_.beta1 * config_.gib_beta));
+  if (config_.structure_kl_weight > 0.f) {
+    Var skl =
+        BernoulliStructureKl(state.tape, probs_, config_.structure_prior);
+    if (obs::Enabled()) {
+      obs::HealthTracker::Get().RecordLossComponent(
+          "structure_kl",
+          skl.value().scalar() * config_.structure_kl_weight);
+    }
+    aux = ag::Add(aux, ag::Scale(skl, config_.structure_kl_weight));
+  }
+  return aux;
+}
+
+Var GibAugmenter::EdgeScores(Tape* tape, Var h_bar) {
+  return scorer_->Score(tape, h_bar, graph_->edges(), graph_->num_users(),
+                        nullptr);
+}
+
+}  // namespace graphaug

@@ -1,0 +1,42 @@
+#ifndef GRAPHAUG_AUGMENT_GIB_AUGMENTER_H_
+#define GRAPHAUG_AUGMENT_GIB_AUGMENTER_H_
+
+#include <memory>
+
+#include "augment/augmenter.h"
+#include "augment/edge_scorer.h"
+
+namespace graphaug {
+
+/// The paper's learnable GIB augmentor behind the GraphAugmenter
+/// interface: EdgeScorer probabilities (Eq. 4), two concrete
+/// reparameterized weight samples (Eq. 5), and the variational GIB bounds
+/// as the auxiliary loss (Eqs. 9-10). Ported verbatim from the pre-
+/// interface GraphAug model: parameter names, op order, and RNG draw order
+/// are unchanged, so training is bitwise identical (the golden parity
+/// test pins this).
+class GibAugmenter : public GraphAugmenter {
+ public:
+  explicit GibAugmenter(const GibAugmentorConfig& config) : config_(config) {}
+
+  std::string name() const override { return "gib"; }
+
+  void Init(const AugmenterInit& init) override;
+  AugmentedViews Augment(const AugmenterState& state) override;
+  Var AuxLoss(const AugmenterState& state, Var z_prime,
+              Var z_dprime) override;
+  bool has_edge_scores() const override { return true; }
+  Var EdgeScores(Tape* tape, Var h_bar) override;
+
+ private:
+  GibAugmentorConfig config_;
+  const BipartiteGraph* graph_ = nullptr;
+  std::unique_ptr<EdgeScorer> scorer_;
+  /// Retention probabilities of the current batch (set by Augment, read
+  /// by AuxLoss for the structure-KL bound).
+  Var probs_;
+};
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUGMENT_GIB_AUGMENTER_H_

@@ -1,0 +1,32 @@
+#include "augment/registry.h"
+
+#include "augment/advcl_augmenter.h"
+#include "augment/autocf_augmenter.h"
+#include "augment/edgedrop_augmenter.h"
+#include "augment/gib_augmenter.h"
+#include "augment/lightgcl_augmenter.h"
+
+namespace graphaug {
+
+std::unique_ptr<GraphAugmenter> MakeAugmenter(const AugmentorConfig& config) {
+  const std::string& name = config.name;
+  if (name == "gib") return std::make_unique<GibAugmenter>(config.gib);
+  if (name == "edgedrop") {
+    return std::make_unique<EdgeDropAugmenter>(config.edgedrop);
+  }
+  if (name == "advcl") return std::make_unique<AdvClAugmenter>(config.advcl);
+  if (name == "autocf") {
+    return std::make_unique<AutoCfAugmenter>(config.autocf);
+  }
+  if (name == "lightgcl") {
+    return std::make_unique<LightGclAugmenter>(config.lightgcl);
+  }
+  GA_CHECK(false) << "unknown augmentor: " << name;
+  return nullptr;
+}
+
+std::vector<std::string> AugmenterNames() {
+  return {"gib", "edgedrop", "advcl", "autocf", "lightgcl"};
+}
+
+}  // namespace graphaug

@@ -1,0 +1,24 @@
+#ifndef GRAPHAUG_AUGMENT_REGISTRY_H_
+#define GRAPHAUG_AUGMENT_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augment/augmenter.h"
+
+namespace graphaug {
+
+/// Creates the augmentor selected by `config.name` ("gib", "edgedrop",
+/// "advcl", "autocf", "lightgcl"), configured from the matching
+/// per-strategy struct. Aborts on unknown names. This is the authoritative
+/// factory; models/registry re-exports it so callers that already link the
+/// model registry need no extra include.
+std::unique_ptr<GraphAugmenter> MakeAugmenter(const AugmentorConfig& config);
+
+/// Every registered augmentor name, in shoot-out table order.
+std::vector<std::string> AugmenterNames();
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_AUGMENT_REGISTRY_H_

@@ -1,4 +1,4 @@
-#include "core/reparam_sampler.h"
+#include "augment/reparam_sampler.h"
 
 namespace graphaug {
 

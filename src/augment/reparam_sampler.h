@@ -1,5 +1,5 @@
-#ifndef GRAPHAUG_CORE_REPARAM_SAMPLER_H_
-#define GRAPHAUG_CORE_REPARAM_SAMPLER_H_
+#ifndef GRAPHAUG_AUGMENT_REPARAM_SAMPLER_H_
+#define GRAPHAUG_AUGMENT_REPARAM_SAMPLER_H_
 
 #include "autograd/ops.h"
 #include "common/rng.h"
@@ -28,4 +28,4 @@ Var ThresholdEdgeWeights(Tape* tape, Var probs, float threshold);
 
 }  // namespace graphaug
 
-#endif  // GRAPHAUG_CORE_REPARAM_SAMPLER_H_
+#endif  // GRAPHAUG_AUGMENT_REPARAM_SAMPLER_H_

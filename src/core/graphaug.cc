@@ -1,10 +1,30 @@
 #include "core/graphaug.h"
 
+#include "augment/gib.h"
+#include "augment/registry.h"
 #include "models/debias.h"
 #include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace graphaug {
+namespace {
+
+/// Wall-clock attribution of augmentor work, keyed by strategy name.
+/// Counters live in the process registry; recording is skipped entirely
+/// when the obs layer is off, so the hot path pays one branch.
+void RecordAugmentTiming(const std::string& augmentor, const char* stage,
+                         int64_t elapsed_ns) {
+  obs::MetricsRegistry::Get()
+      .GetCounter("augment." + augmentor + "." + stage + "_ns")
+      ->Inc(elapsed_ns);
+  obs::MetricsRegistry::Get()
+      .GetCounter("augment." + augmentor + "." + stage + "_calls")
+      ->Inc();
+}
+
+}  // namespace
 
 GraphAug::GraphAug(const Dataset* dataset, const GraphAugConfig& config)
     : Recommender(dataset, config), gconfig_(config) {
@@ -27,8 +47,24 @@ GraphAug::GraphAug(const Dataset* dataset, const GraphAugConfig& config)
                                /*bias=*/false);
     }
   }
-  scorer_ = std::make_unique<EdgeScorer>(&store_, "augmentor", config.dim,
-                                         &rng_, gconfig_.scorer_noise);
+  // The "w/o GIB" switch rides along inside the gib strategy config so
+  // the augmentor owns the decision of whether to emit an aux loss.
+  AugmentorConfig acfg = gconfig_.augmentor;
+  acfg.gib.gib_loss = gconfig_.use_gib;
+  augmenter_ = MakeAugmenter(acfg);
+  AugmenterInit init;
+  init.graph = &graph_;
+  init.adj = &adj_;
+  init.power_cache = power_cache_.get();
+  init.store = &store_;
+  init.dim = config.dim;
+  init.num_layers = config.num_layers;
+  init.rng = &rng_;
+  augmenter_->Init(init);
+}
+
+void GraphAug::OnEpochBegin() {
+  augmenter_->Adapt(epoch_++, &rng_);
 }
 
 Var GraphAug::EncodeBase(Tape* tape, Var base) {
@@ -55,6 +91,25 @@ Var GraphAug::EncodeView(Tape* tape, Var edge_weights, Var base) {
         config_.leaky_slope);
   }
   return h;
+}
+
+Var GraphAug::EncodeAugmented(Tape* tape, const AugmentedView& view,
+                              Var base) {
+  if (view.embeddings.valid()) return view.embeddings;
+  if (view.adjacency != nullptr) {
+    if (gconfig_.use_mixhop) {
+      return mixhop_->Encode(tape, &view.adjacency->matrix, base);
+    }
+    Var h = base;
+    for (const Linear& layer : gcn_layers_) {
+      h = ag::LeakyRelu(
+          layer.Forward(tape, ag::Spmm(&view.adjacency->matrix, h)),
+          config_.leaky_slope);
+    }
+    return h;
+  }
+  GA_CHECK(view.edge_weights.valid()) << "augmented view has no content";
+  return EncodeView(tape, view.edge_weights, base);
 }
 
 Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
@@ -91,49 +146,34 @@ Var GraphAug::BuildLoss(Tape* tape, const TripletBatch& batch) {
   const bool needs_views = gconfig_.use_gib || gconfig_.use_cl;
   if (!needs_views) return loss;
 
-  // (Eq. 4) Learnable augmentor scores every observed interaction.
-  Var probs =
-      scorer_->Score(tape, h_bar, graph_.edges(), ItemOffset(), &rng_);
+  // (Alg. 1 lines 4-5) The configured strategy produces the two views,
+  // which the host encodes according to their shape.
+  AugmenterState state;
+  state.tape = tape;
+  state.base = base;
+  state.h_bar = h_bar;
+  state.batch = &batch;
+  state.rng = &rng_;
 
-  // (Eq. 5 / Alg. 1 line 4) Two reparameterized graph samples.
-  Var w_prime = SampleEdgeWeights(tape, probs, gconfig_.concrete_temperature,
-                                  gconfig_.edge_threshold, &rng_);
-  Var w_dprime = SampleEdgeWeights(tape, probs, gconfig_.concrete_temperature,
-                                   gconfig_.edge_threshold, &rng_);
-
-  // (Eq. 11 / Alg. 1 line 5) Encode both augmented views.
-  Var z_prime = EncodeView(tape, w_prime, base);
-  Var z_dprime = EncodeView(tape, w_dprime, base);
-
-  // (Eq. 9-10 / Alg. 1 lines 6-7) GIB regularization: the prediction
-  // bound anchors the augmentor to the labels at O(1) weight; the KL
-  // compression bound carries the swept Lagrange weight β₁ (Fig. 5).
-  if (gconfig_.use_gib) {
-    Var pred = ag::Scale(
-        ag::Add(GibPredictionTerm(tape, z_prime, batch, ItemOffset()),
-                GibPredictionTerm(tape, z_dprime, batch, ItemOffset())),
-        0.5f * gconfig_.gib_pred_weight);
-    Var kl = GibCompressionTerm(tape, h_bar, z_prime, z_dprime);
-    if (obs::Enabled()) {
-      obs::HealthTracker::Get().RecordLossComponent("gib_pred",
-                                                    pred.value().scalar());
-      obs::HealthTracker::Get().RecordLossComponent(
-          "gib_kl",
-          kl.value().scalar() * gconfig_.beta1 * gconfig_.gib_beta);
-    }
-    loss = ag::Add(loss,
-                   ag::Add(pred, ag::Scale(kl, gconfig_.beta1 *
-                                                   gconfig_.gib_beta)));
-    if (gconfig_.structure_kl_weight > 0.f) {
-      Var skl = BernoulliStructureKl(tape, probs, gconfig_.structure_prior);
-      if (obs::Enabled()) {
-        obs::HealthTracker::Get().RecordLossComponent(
-            "structure_kl",
-            skl.value().scalar() * gconfig_.structure_kl_weight);
-      }
-      loss = ag::Add(loss, ag::Scale(skl, gconfig_.structure_kl_weight));
-    }
+  const bool timed = obs::Enabled();
+  int64_t t0 = timed ? obs::TraceClockNs() : 0;
+  AugmentedViews views = augmenter_->Augment(state);
+  if (timed) {
+    RecordAugmentTiming(augmenter_->name(), "augment",
+                        obs::TraceClockNs() - t0);
   }
+  Var z_prime = EncodeAugmented(tape, views.first, base);
+  Var z_dprime = EncodeAugmented(tape, views.second, base);
+
+  // (Alg. 1 lines 6-7) Strategy-owned auxiliary objective (the GIB bounds
+  // for "gib", masked-edge reconstruction for "autocf", none otherwise).
+  t0 = timed ? obs::TraceClockNs() : 0;
+  Var aux = augmenter_->AuxLoss(state, z_prime, z_dprime);
+  if (timed) {
+    RecordAugmentTiming(augmenter_->name(), "aux_loss",
+                        obs::TraceClockNs() - t0);
+  }
+  if (aux.valid()) loss = ag::Add(loss, aux);
 
   // (Eq. 14 / Alg. 1 line 8) Mixhop graph contrastive augmentation.
   if (gconfig_.use_cl) {
@@ -183,8 +223,9 @@ std::vector<float> GraphAug::EdgeProbabilities() {
   Tape tape;
   Var base = ag::Leaf(&tape, embeddings_);
   Var h = EncodeBase(&tape, base);
-  Var probs =
-      scorer_->Score(&tape, h, graph_.edges(), ItemOffset(), nullptr);
+  Var probs = augmenter_->EdgeScores(&tape, h);
+  GA_CHECK(probs.valid()) << "augmentor '" << augmenter_->name()
+                          << "' exposes no edge scores";
   const Matrix& pv = probs.value();
   return std::vector<float>(pv.data(), pv.data() + pv.size());
 }

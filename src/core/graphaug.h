@@ -4,17 +4,19 @@
 #include <memory>
 #include <vector>
 
-#include "core/edge_scorer.h"
-#include "core/gib.h"
+#include "augment/augmenter.h"
 #include "core/mixhop_encoder.h"
-#include "core/reparam_sampler.h"
 #include "models/propagation.h"
 #include "models/recommender.h"
 
 namespace graphaug {
 
 /// Full configuration of the GraphAug model (paper Eq. 16 / Alg. 1).
-/// The ablation switches reproduce the Fig. 2 variants.
+/// The ablation switches reproduce the Fig. 2 variants. Strategy-specific
+/// knobs (GIB weights, dropout rates, SVD rank, ...) live in the nested
+/// `augmentor` config — see augment/augmenter.h for the per-strategy
+/// structs; `augmentor.name` selects the strategy ("gib" reproduces the
+/// paper).
 struct GraphAugConfig : ModelConfig {
   std::vector<int> hops = {0, 1, 2};  ///< mixhop set M
   /// Self-loop weight of Ã. The paper's Eq. 11 uses Ã = D^{-1/2}(A+I)D^{-1/2};
@@ -22,28 +24,12 @@ struct GraphAugConfig : ModelConfig {
   /// self-loop-free Ã (0.0) avoids double-counting self information and
   /// propagates further on sparse graphs.
   float self_loop_weight = 0.0f;
-  float concrete_temperature = 0.2f;  ///< τ₁ in Eq. 5
-  float edge_threshold = 0.2f;        ///< ξ (augmentation strength, Tab. IV)
-  float gib_beta = 1.f;               ///< β inside L_GIB (Eq. 2)
-  float beta1 = 1e-5f;                ///< weight of the GIB KL bound (Eq. 16)
-  /// Weight of the GIB prediction bound −log q(Y|Z'). Kept at O(1) rather
-  /// than folded under β₁: the prediction bound is what anchors the
-  /// learnable augmentor to the recommendation labels — without it the
-  /// contrastive term alone is minimized by degenerate all-dropped views.
-  float gib_pred_weight = 0.5f;
-  /// Prior retention probability π and weight of the structure-level
-  /// Bernoulli-KL compression bound KL(Bern(p_e) ‖ Bern(π)) — the
-  /// Lemma-1 bound applied to the sampled adjacency. Off by default:
-  /// measured on the simulated benchmarks it rescales the probabilities
-  /// toward π without improving noise discrimination or accuracy, but it
-  /// is the right knob when retention saturation is observed.
-  float structure_prior = 0.7f;
-  float structure_kl_weight = 0.0f;
+  /// Pluggable augmentation strategy plus its per-strategy knobs.
+  AugmentorConfig augmentor;
   /// Weight of L_CL in Eq. 16 (multiplies the shared ssl_weight). Tuned
   /// on the simulated benchmarks: denoised views are already well aligned,
   /// so a lighter contrastive pull than SGL-style baselines works best.
   float beta2 = 0.2f;
-  float scorer_noise = 0.1f;          ///< ε std-dev in Eq. 4
   /// Per-hop mixing parameterization (see MixhopMode). kVectorGate (the
   /// paper's "learnable weight vector" combination) is the default; the
   /// matrix-transform form of Eq. 12 is available for the ablation bench.
@@ -63,13 +49,13 @@ struct GraphAugConfig : ModelConfig {
 /// graph contrastive learning (ICDE 2024). One training step implements
 /// Alg. 1:
 ///  1. encode the observed graph with the mixhop encoder → H̄;
-///  2. score every interaction with the learnable augmentor (Eq. 4);
-///  3. sample two differentiable augmented graphs G', G'' via the
-///     concrete reparameterization with threshold ξ (Eq. 5);
-///  4. encode both views → Z', Z'' (Eq. 11);
-///  5. GIB loss: variational prediction + KL compression bounds (Eq. 9-10);
-///  6. InfoNCE contrast between Z' and Z'' on users and items (Eq. 14);
-///  7. BPR on H̄ (Eq. 15); joint objective Eq. 16.
+///  2. the configured GraphAugmenter produces two augmented views
+///     (for "gib": Eq. 4 scoring + Eq. 5 concrete sampling);
+///  3. encode both views → Z', Z'' (Eq. 11);
+///  4. augmentor auxiliary loss (for "gib": the variational GIB
+///     prediction + KL compression bounds, Eq. 9-10);
+///  5. InfoNCE contrast between Z' and Z'' on users and items (Eq. 14);
+///  6. BPR on H̄ (Eq. 15); joint objective Eq. 16.
 class GraphAug : public Recommender {
  public:
   GraphAug(const Dataset* dataset, const GraphAugConfig& config);
@@ -78,21 +64,30 @@ class GraphAug : public Recommender {
 
   const GraphAugConfig& graphaug_config() const { return gconfig_; }
 
+  /// The active augmentation strategy.
+  const GraphAugmenter& augmenter() const { return *augmenter_; }
+
   /// Learned retention probability p((u,v)|H̄) for every training
   /// interaction, in graph-edge order (noise-free scorer pass). The case
   /// study (Fig. 6) checks that generator-injected noise edges receive
-  /// lower probabilities.
+  /// lower probabilities. Aborts when the configured augmentor has no
+  /// notion of edge scores (only "gib" does today).
   std::vector<float> EdgeProbabilities();
 
  protected:
   Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
   void ComputeEmbeddings(Matrix* user_emb, Matrix* item_emb) override;
+  void OnEpochBegin() override;
 
  private:
   /// Encodes with the configured encoder over a constant adjacency.
   Var EncodeBase(Tape* tape, Var base);
   /// Encodes over an edge-weighted (sampled) adjacency.
   Var EncodeView(Tape* tape, Var edge_weights, Var base);
+  /// Encodes one augmented view, whatever its shape: already-encoded
+  /// embeddings pass through, structural views run the base encoder over
+  /// the replacement adjacency, edge-weight views run EncodeView.
+  Var EncodeAugmented(Tape* tape, const AugmentedView& view, Var base);
 
   GraphAugConfig gconfig_;
   NormalizedAdjacency adj_;  ///< Ã with self-loops over I+J nodes
@@ -102,8 +97,9 @@ class GraphAug : public Recommender {
   Parameter* embeddings_;
   std::unique_ptr<MixhopEncoder> mixhop_;
   std::vector<Linear> gcn_layers_;  ///< "w/o Mixhop" standard-GCN ablation
-  std::unique_ptr<EdgeScorer> scorer_;
+  std::unique_ptr<GraphAugmenter> augmenter_;
   Matrix propensities_;  ///< lazily built when ips_gamma > 0
+  int epoch_ = 0;
 };
 
 }  // namespace graphaug

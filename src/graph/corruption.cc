@@ -5,7 +5,7 @@
 namespace graphaug {
 
 BipartiteGraph AddRandomEdges(const BipartiteGraph& g, double ratio,
-                              Rng* rng) {
+                              Rng& rng) {
   GA_CHECK_GE(ratio, 0.0);
   const int64_t target = static_cast<int64_t>(ratio * g.num_edges());
   std::vector<Edge> fake;
@@ -15,38 +15,39 @@ BipartiteGraph AddRandomEdges(const BipartiteGraph& g, double ratio,
   while (static_cast<int64_t>(fake.size()) < target &&
          attempts++ < max_attempts) {
     Edge e;
-    e.user = static_cast<int32_t>(rng->UniformInt(g.num_users()));
-    e.item = static_cast<int32_t>(rng->UniformInt(g.num_items()));
+    e.user = static_cast<int32_t>(rng.UniformInt(g.num_users()));
+    e.item = static_cast<int32_t>(rng.UniformInt(g.num_items()));
     if (!g.HasEdge(e.user, e.item)) fake.push_back(e);
   }
   return g.WithExtraEdges(fake);
 }
 
-BipartiteGraph DropEdges(const BipartiteGraph& g, double drop_prob, Rng* rng) {
+BipartiteGraph DropEdges(const BipartiteGraph& g, double drop_prob,
+                         Rng& rng) {
   GA_CHECK(drop_prob >= 0.0 && drop_prob < 1.0);
   std::vector<bool> keep(g.num_edges());
   for (int64_t i = 0; i < g.num_edges(); ++i) {
-    keep[static_cast<size_t>(i)] = !rng->Bernoulli(drop_prob);
+    keep[static_cast<size_t>(i)] = !rng.Bernoulli(drop_prob);
   }
   return g.FilterEdges(keep);
 }
 
 BipartiteGraph RandomWalkSubgraph(const BipartiteGraph& g, int num_seeds,
-                                  int hops, Rng* rng) {
+                                  int hops, Rng& rng) {
   std::unordered_set<int64_t> kept_edges;
   auto edge_key = [&](int32_t u, int32_t v) {
     return static_cast<int64_t>(u) * g.num_items() + v;
   };
   for (int s = 0; s < num_seeds; ++s) {
-    int32_t u = static_cast<int32_t>(rng->UniformInt(g.num_users()));
+    int32_t u = static_cast<int32_t>(rng.UniformInt(g.num_users()));
     for (int h = 0; h < hops; ++h) {
       const auto& items = g.ItemsOf(u);
       if (items.empty()) break;
       const int32_t v =
-          items[static_cast<size_t>(rng->UniformInt(items.size()))];
+          items[static_cast<size_t>(rng.UniformInt(items.size()))];
       kept_edges.insert(edge_key(u, v));
       const auto& users = g.UsersOf(v);
-      u = users[static_cast<size_t>(rng->UniformInt(users.size()))];
+      u = users[static_cast<size_t>(rng.UniformInt(users.size()))];
     }
   }
   std::vector<bool> keep(g.num_edges());

@@ -10,20 +10,25 @@ namespace graphaug {
 /// `AddRandomEdges` implements the fake-edge corruption protocol of the
 /// paper's robustness study (Fig. 3); `DropEdges` is the stochastic
 /// edge-dropout augmentation used by SGL-style contrastive baselines.
+/// All operators are pure functions of (graph, knobs, RNG state): the
+/// caller injects the generator by reference and owns its stream — there
+/// is no internal seeding or global state, so any component (including
+/// the EdgeDropAugmenter) can reuse them without coupling draw orders.
 
 /// Returns a graph with ratio*|E| uniformly random non-observed user-item
 /// edges injected.
-BipartiteGraph AddRandomEdges(const BipartiteGraph& g, double ratio, Rng* rng);
+BipartiteGraph AddRandomEdges(const BipartiteGraph& g, double ratio, Rng& rng);
 
 /// Returns a graph with each edge independently dropped with probability
 /// `drop_prob`. Users/items left isolated keep their self-loop in the
 /// normalized adjacency, so encoders still produce embeddings for them.
-BipartiteGraph DropEdges(const BipartiteGraph& g, double drop_prob, Rng* rng);
+BipartiteGraph DropEdges(const BipartiteGraph& g, double drop_prob,
+                         Rng& rng);
 
 /// Random-walk based subgraph: keeps edges reachable within `hops` steps
 /// from `num_seeds` random seed users (SGL's RW augmentation variant).
 BipartiteGraph RandomWalkSubgraph(const BipartiteGraph& g, int num_seeds,
-                                  int hops, Rng* rng);
+                                  int hops, Rng& rng);
 
 }  // namespace graphaug
 

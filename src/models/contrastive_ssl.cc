@@ -2,7 +2,7 @@
 
 #include <numeric>
 
-#include "graph/corruption.h"
+#include "augment/edgedrop_augmenter.h"
 #include "tensor/ops.h"
 
 namespace graphaug {
@@ -27,14 +27,21 @@ Sgl::Sgl(const Dataset* dataset, const ModelConfig& config)
   adj_ = graph_.BuildNormalizedAdjacency(0.f);
   embeddings_ = store_.CreateNormal("embeddings", graph_.num_nodes(),
                                     config.dim, &rng_);
+  EdgeDropAugmentorConfig drop;
+  drop.drop_prob = config_.dropout > 0 ? 0.2f : 0.1f;
+  drop.self_loop_weight = 0.f;
+  augmenter_ = std::make_unique<EdgeDropAugmenter>(drop);
+  AugmenterInit init;
+  init.graph = &graph_;
+  init.adj = &adj_;
+  init.store = &store_;
+  init.dim = config.dim;
+  init.num_layers = config.num_layers;
+  init.rng = &rng_;
+  augmenter_->Init(init);
 }
 
-void Sgl::OnEpochBegin() {
-  view_a_ = DropEdges(graph_, config_.dropout > 0 ? 0.2 : 0.1, &rng_);
-  view_b_ = DropEdges(graph_, config_.dropout > 0 ? 0.2 : 0.1, &rng_);
-  adj_a_ = view_a_.BuildNormalizedAdjacency(0.f);
-  adj_b_ = view_b_.BuildNormalizedAdjacency(0.f);
-}
+void Sgl::OnEpochBegin() { augmenter_->Adapt(epoch_++, &rng_); }
 
 Var Sgl::BuildLoss(Tape* tape, const TripletBatch& batch) {
   Var e = ag::Leaf(tape, embeddings_);
@@ -44,8 +51,19 @@ Var Sgl::BuildLoss(Tape* tape, const TripletBatch& batch) {
   Var n = ag::GatherRows(h, ToNodeIds(batch.neg_items));
   Var loss = ag::BprLoss(ag::RowDot(u, p), ag::RowDot(u, n));
 
-  Var ha = LightGcnPropagate(tape, &adj_a_.matrix, e, config_.num_layers);
-  Var hb = LightGcnPropagate(tape, &adj_b_.matrix, e, config_.num_layers);
+  AugmenterState state;
+  state.tape = tape;
+  state.base = e;
+  state.h_bar = h;
+  state.batch = &batch;
+  state.rng = &rng_;
+  AugmentedViews views = augmenter_->Augment(state);
+  GA_CHECK(views.first.adjacency != nullptr);
+  GA_CHECK(views.second.adjacency != nullptr);
+  Var ha = LightGcnPropagate(tape, &views.first.adjacency->matrix, e,
+                             config_.num_layers);
+  Var hb = LightGcnPropagate(tape, &views.second.adjacency->matrix, e,
+                             config_.num_layers);
   std::vector<int32_t> nodes =
       ContrastNodes(sampler_, graph_, config_.contrast_batch, &rng_);
   Var ssl = ag::InfoNceLoss(ag::GatherRows(ha, nodes),

@@ -1,6 +1,9 @@
 #ifndef GRAPHAUG_MODELS_CONTRASTIVE_SSL_H_
 #define GRAPHAUG_MODELS_CONTRASTIVE_SSL_H_
 
+#include <memory>
+
+#include "augment/augmenter.h"
 #include "models/kmeans.h"
 #include "models/propagation.h"
 #include "models/recommender.h"
@@ -9,7 +12,10 @@ namespace graphaug {
 
 /// SGL (Wu et al., 2021): LightGCN backbone with two stochastic
 /// structure-corrupted views (edge dropout, resampled each epoch) aligned
-/// by InfoNCE on users and items, jointly trained with BPR.
+/// by InfoNCE on users and items, jointly trained with BPR. The view
+/// corruption is delegated to an EdgeDropAugmenter behind the shared
+/// GraphAugmenter interface; the epoch-wise resampling draw order matches
+/// the pre-interface implementation bitwise.
 class Sgl : public Recommender {
  public:
   Sgl(const Dataset* dataset, const ModelConfig& config);
@@ -23,9 +29,9 @@ class Sgl : public Recommender {
 
  private:
   NormalizedAdjacency adj_;
-  BipartiteGraph view_a_, view_b_;
-  NormalizedAdjacency adj_a_, adj_b_;
+  std::unique_ptr<GraphAugmenter> augmenter_;
   Parameter* embeddings_;
+  int epoch_ = 0;
 };
 
 /// SLRec (Yao et al., 2021): contrastive SSL with *feature-level*

@@ -85,8 +85,8 @@ Var DisentangledRecommender::Encode(Tape* tape, const BipartiteGraph& graph,
 
 void DisentangledRecommender::OnEpochBegin() {
   if (options_.contrastive) {
-    view_graph_a_ = DropEdges(graph_, options_.view_dropout, &rng_);
-    view_graph_b_ = DropEdges(graph_, options_.view_dropout, &rng_);
+    view_graph_a_ = DropEdges(graph_, options_.view_dropout, rng_);
+    view_graph_b_ = DropEdges(graph_, options_.view_dropout, rng_);
     view_adj_a_ = view_graph_a_.BuildNormalizedAdjacency(0.f);
     view_adj_b_ = view_graph_b_.BuildNormalizedAdjacency(0.f);
   }

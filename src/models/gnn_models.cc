@@ -51,7 +51,7 @@ void GnnRecommender::OnEpochBegin() {
   if (style_ == GnnStyle::kPinSage) {
     // Resample the neighborhood graph: dropping edges approximates
     // PinSage's random-walk neighbor sampling at this scale.
-    epoch_graph_ = DropEdges(graph_, 0.5, &rng_);
+    epoch_graph_ = DropEdges(graph_, 0.5, rng_);
     epoch_adj_ = epoch_graph_.BuildNormalizedAdjacency(1.f);
   }
 }

@@ -58,4 +58,12 @@ std::vector<std::string> AllModelNames() {
           "SGL",   "DGCL",    "HCCF",  "CGI",     "NCL",   "GraphAug"};
 }
 
+std::unique_ptr<GraphAugmenter> CreateAugmenter(const std::string& name,
+                                                AugmentorConfig config) {
+  config.name = name;
+  return MakeAugmenter(config);
+}
+
+std::vector<std::string> AllAugmenterNames() { return AugmenterNames(); }
+
 }  // namespace graphaug

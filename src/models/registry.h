@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "augment/registry.h"
 #include "models/recommender.h"
 
 namespace graphaug {
@@ -21,6 +22,18 @@ std::unique_ptr<Recommender> CreateModel(const std::string& name,
 
 /// All model names in the row order of the paper's Table II.
 std::vector<std::string> AllModelNames();
+
+/// Creates an augmentation strategy by registry name ("gib", "edgedrop",
+/// "advcl", "autocf", "lightgcl"), with `config` supplying the
+/// per-strategy knobs (its `name` field is overridden by `name`). Thin
+/// forwarder to the authoritative factory in augment/registry.h, kept
+/// here so augmentors register through the same surface as models.
+/// Aborts on unknown names.
+std::unique_ptr<GraphAugmenter> CreateAugmenter(const std::string& name,
+                                                AugmentorConfig config = {});
+
+/// All augmentor names, in shoot-out table order.
+std::vector<std::string> AllAugmenterNames();
 
 }  // namespace graphaug
 

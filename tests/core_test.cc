@@ -10,11 +10,11 @@
 #include <cmath>
 
 #include "autograd/grad_check.h"
-#include "core/edge_scorer.h"
-#include "core/gib.h"
+#include "augment/edge_scorer.h"
+#include "augment/gib.h"
 #include "core/graphaug.h"
 #include "core/mixhop_encoder.h"
-#include "core/reparam_sampler.h"
+#include "augment/reparam_sampler.h"
 #include "data/synthetic.h"
 #include "eval/embedding_stats.h"
 #include "eval/evaluator.h"

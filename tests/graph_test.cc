@@ -211,7 +211,7 @@ TEST(BipartiteGraphTest, FilterAndExtend) {
 TEST(CorruptionTest, AddRandomEdgesAddsOnlyNewEdges) {
   BipartiteGraph g(20, 20, {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}});
   Rng rng(5);
-  BipartiteGraph noisy = AddRandomEdges(g, 1.0, &rng);
+  BipartiteGraph noisy = AddRandomEdges(g, 1.0, rng);
   EXPECT_EQ(noisy.num_edges(), 10);
   for (const Edge& e : g.edges()) EXPECT_TRUE(noisy.HasEdge(e.user, e.item));
 }
@@ -223,7 +223,7 @@ TEST(CorruptionTest, DropEdgesApproximatesRate) {
   }
   BipartiteGraph g(50, 40, edges);
   Rng rng(9);
-  BipartiteGraph dropped = DropEdges(g, 0.3, &rng);
+  BipartiteGraph dropped = DropEdges(g, 0.3, rng);
   const double kept =
       static_cast<double>(dropped.num_edges()) / g.num_edges();
   EXPECT_NEAR(kept, 0.7, 0.05);
@@ -236,7 +236,7 @@ TEST(CorruptionTest, RandomWalkSubgraphKeepsSubset) {
   }
   BipartiteGraph g(30, 20, edges);
   Rng rng(13);
-  BipartiteGraph sub = RandomWalkSubgraph(g, 10, 5, &rng);
+  BipartiteGraph sub = RandomWalkSubgraph(g, 10, 5, rng);
   EXPECT_GT(sub.num_edges(), 0);
   EXPECT_LE(sub.num_edges(), g.num_edges());
   for (const Edge& e : sub.edges()) EXPECT_TRUE(g.HasEdge(e.user, e.item));

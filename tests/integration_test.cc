@@ -90,7 +90,7 @@ TEST(IntegrationTest, NoiseInjectionDegradesButNotCatastrophically) {
   Rng rng(7);
   Dataset noisy_dataset = data.dataset;
   BipartiteGraph noisy_graph =
-      AddRandomEdges(data.dataset.TrainGraph(), 0.25, &rng);
+      AddRandomEdges(data.dataset.TrainGraph(), 0.25, rng);
   noisy_dataset.train_edges = noisy_graph.edges();
   noisy_dataset.noise_flags.clear();
   auto noisy_model = CreateModel("LightGCN", &noisy_dataset, FastConfig());

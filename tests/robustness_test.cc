@@ -70,7 +70,7 @@ TEST(RobustnessTest, ExtremeEdgeThresholdDropsEverything) {
   GraphAugConfig cfg;
   cfg.dim = 8;
   cfg.batches_per_epoch = 2;
-  cfg.edge_threshold = 0.99f;
+  cfg.augmentor.gib.edge_threshold = 0.99f;
   GraphAug model(&data.dataset, cfg);
   for (int e = 0; e < 3; ++e) {
     EXPECT_TRUE(std::isfinite(model.TrainEpoch()));
@@ -91,8 +91,8 @@ TEST(RobustnessTest, FullDropoutCorruptionRejected) {
   SyntheticData data = GeneratePreset("tiny");
   BipartiteGraph g = data.dataset.TrainGraph();
   Rng rng(1);
-  EXPECT_DEATH(DropEdges(g, 1.0, &rng), "");
-  EXPECT_DEATH(DropEdges(g, -0.1, &rng), "");
+  EXPECT_DEATH(DropEdges(g, 1.0, rng), "");
+  EXPECT_DEATH(DropEdges(g, -0.1, rng), "");
 }
 
 TEST(RobustnessTest, EvaluatorWithNoTestUsers) {
@@ -142,7 +142,7 @@ TEST(RobustnessTest, NoiseInjectionOnDenseGraphTerminates) {
   }
   BipartiteGraph g(10, 10, edges);
   Rng rng(3);
-  BipartiteGraph noisy = AddRandomEdges(g, 2.0, &rng);
+  BipartiteGraph noisy = AddRandomEdges(g, 2.0, rng);
   EXPECT_LE(noisy.num_edges(), 100);
   EXPECT_GE(noisy.num_edges(), g.num_edges());
 }

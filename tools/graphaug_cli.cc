@@ -17,8 +17,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <vector>
 
 #include "autograd/serialize.h"
 #include "common/flags.h"
@@ -45,9 +47,13 @@ int Usage() {
       "  stats     --dataset=FILE | --preset=NAME\n"
       "  train     --dataset=FILE|--preset=NAME --model=NAME [--epochs=N]\n"
       "            [--dim=N] [--layers=N] [--lr=F] [--checkpoint=FILE]\n"
+      "            [--augmentor=NAME]  (GraphAug only)\n"
       "  recommend --dataset=FILE|--preset=NAME --checkpoint=FILE\n"
       "            [--model=NAME] [--user=N] [--topk=N]\n"
       "  denoise   --dataset=FILE|--preset=NAME [--epochs=N] [--budget=F]\n"
+      "            [--augmentor=NAME]\n"
+      "  --augmentor=NAME selects the GraphAug view-generation strategy:\n"
+      "            gib|edgedrop|advcl|autocf|lightgcl (default gib)\n"
       "common flags:\n"
       "  --threads=N      worker threads for the parallel runtime (0 = auto;\n"
       "                   overrides GRAPHAUG_NUM_THREADS). Output is\n"
@@ -74,6 +80,24 @@ bool ResolveDataset(const FlagParser& flags, Dataset* out) {
                         static_cast<uint64_t>(flags.GetInt("seed", 0)))
              .dataset;
   return true;
+}
+
+/// Reads --augmentor and validates it against the augmentor registry.
+/// Returns false (after printing the valid names) on an unknown name.
+bool ResolveAugmentor(const FlagParser& flags, std::string* name) {
+  *name = flags.GetString("augmentor", "gib");
+  const std::vector<std::string> known = AllAugmenterNames();
+  if (std::find(known.begin(), known.end(), *name) != known.end()) {
+    return true;
+  }
+  std::string valid;
+  for (const std::string& n : known) {
+    if (!valid.empty()) valid += "|";
+    valid += n;
+  }
+  std::fprintf(stderr, "unknown --augmentor '%s' (expected %s)\n",
+               name->c_str(), valid.c_str());
+  return false;
 }
 
 ModelConfig ConfigFromFlags(const FlagParser& flags) {
@@ -139,7 +163,24 @@ int CmdTrain(const FlagParser& flags) {
     return 1;
   }
   const std::string model_name = flags.GetString("model", "GraphAug");
-  auto model = CreateModel(model_name, &dataset, ConfigFromFlags(flags));
+  std::string augmentor;
+  if (!ResolveAugmentor(flags, &augmentor)) return 2;
+  std::unique_ptr<Recommender> model;
+  if (model_name == "GraphAug") {
+    // Constructed directly (not via CreateModel) so the augmentor choice
+    // survives: ModelConfig has no augmentor field to carry it through.
+    GraphAugConfig gcfg;
+    static_cast<ModelConfig&>(gcfg) = ConfigFromFlags(flags);
+    gcfg.augmentor.name = augmentor;
+    model = std::make_unique<GraphAug>(&dataset, gcfg);
+  } else {
+    if (flags.Has("augmentor")) {
+      std::fprintf(stderr,
+                   "train: --augmentor applies only to --model=GraphAug\n");
+      return 2;
+    }
+    model = CreateModel(model_name, &dataset, ConfigFromFlags(flags));
+  }
   Evaluator evaluator(&dataset, {20, 40});
   TrainOptions options;
   options.epochs = static_cast<int>(flags.GetInt("epochs", 24));
@@ -217,9 +258,19 @@ int CmdDenoise(const FlagParser& flags) {
     std::fprintf(stderr, "denoise: cannot load dataset\n");
     return 1;
   }
+  std::string augmentor;
+  if (!ResolveAugmentor(flags, &augmentor)) return 2;
   GraphAugConfig cfg;
   static_cast<ModelConfig&>(cfg) = ConfigFromFlags(flags);
+  cfg.augmentor.name = augmentor;
   GraphAug model(&dataset, cfg);
+  if (!model.augmenter().has_edge_scores()) {
+    std::fprintf(stderr,
+                 "denoise: augmentor '%s' learns no edge retention scores "
+                 "(use --augmentor=gib)\n",
+                 augmentor.c_str());
+    return 2;
+  }
   const int epochs = static_cast<int>(flags.GetInt("epochs", 24));
   for (int e = 0; e < epochs; ++e) {
     model.TrainEpoch();
