@@ -25,6 +25,7 @@
 
 #include "autograd/ops.h"
 #include "bench/bench_common.h"
+#include "common/cpu_features.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -34,6 +35,7 @@
 #include "eval/evaluator.h"
 #include "models/propagation.h"
 #include "tensor/init.h"
+#include "tensor/kernel_dispatch.h"
 #include "tensor/ops.h"
 
 namespace graphaug {
@@ -161,6 +163,13 @@ struct KernelCase {
   /// the implied Amdahl serial fraction computed from the measured
   /// timings, followed by this attribution text (plain ASCII, no quotes).
   std::string attribution;
+  /// Approximate bytes streamed per run (reads + writes). When > 0 each
+  /// run additionally records "gbps" — the honest throughput axis for the
+  /// bandwidth-bound sparse kernels, where GFLOP/s undersells saturation.
+  double bytes = 0;
+  /// Pins this case to the scalar dispatch table, giving every SIMD
+  /// kernel a same-binary scalar reference row in the JSON.
+  bool force_scalar = false;
 };
 
 /// Yelp-scale synthetic adjacency (the paper's largest benchmark: ~42.7K
@@ -200,6 +209,10 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
            return out;
          },
          ""});
+    KernelCase scalar_twin = cases.back();
+    scalar_twin.name = "gemm_nn_scalar";
+    scalar_twin.force_scalar = true;
+    cases.push_back(std::move(scalar_twin));
   }
 
   // SpMM / SpmmT over the Yelp-scale normalized adjacency, d = 64.
@@ -224,13 +237,25 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
     const std::string shape = std::to_string(adj->matrix.nnz()) + "nnz_x" +
                               std::to_string(d);
     const double work = 2.0 * static_cast<double>(adj->matrix.nnz()) * d;
+    // Streamed-byte model shared by every sparse case: per nonzero one
+    // value + one index (8B) plus a d-wide dense-row gather, and a
+    // read-modify-write of every output row.
+    const double sparse_bytes =
+        static_cast<double>(adj->matrix.nnz()) * (8.0 + 4.0 * d) +
+        8.0 * static_cast<double>(adj->matrix.rows()) * d;
     cases.push_back({"spmm", shape, work,
                      [adj, h] {
                        Matrix out;
                        adj->matrix.Spmm(*h, &out);
                        return out;
                      },
-                     ""});
+                     "", sparse_bytes});
+    {
+      KernelCase scalar_twin = cases.back();
+      scalar_twin.name = "spmm_scalar";
+      scalar_twin.force_scalar = true;
+      cases.push_back(std::move(scalar_twin));
+    }
     // SpmmT scaling matrix: the auto heuristic plus each variant pinned,
     // so the JSON records serial/permuted/tiled x thread-count timings
     // and regressions in any one path are attributable. The legacy
@@ -241,7 +266,13 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
                        adj->matrix.SpmmT(*h, &out);
                        return out;
                      },
-                     ""});
+                     "", sparse_bytes});
+    {
+      KernelCase scalar_twin = cases.back();
+      scalar_twin.name = "spmm_t_scalar";
+      scalar_twin.force_scalar = true;
+      cases.push_back(std::move(scalar_twin));
+    }
     cases.push_back({"spmm_t_gather", shape, work,
                      [adj, h] {
                        Matrix out;
@@ -249,7 +280,7 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
                                          SpmmTVariant::kGather);
                        return out;
                      },
-                     ""});
+                     "", sparse_bytes});
     cases.push_back({"spmm_t_permuted", shape, work,
                      [adj, h] {
                        Matrix out;
@@ -257,7 +288,7 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
                                          SpmmTVariant::kPermuted);
                        return out;
                      },
-                     ""});
+                     "", sparse_bytes});
     cases.push_back({"spmm_t_tiled", shape, work,
                      [adj, h] {
                        Matrix out;
@@ -265,7 +296,7 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
                                          SpmmTVariant::kTiled);
                        return out;
                      },
-                     ""});
+                     "", sparse_bytes});
 
     // Adjacency power A^3 x through the warm-mirror cache — the mixhop
     // encoder's per-layer propagation pattern.
@@ -276,7 +307,7 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
                        power->Apply(3, *h, &out);
                        return out;
                      },
-                     ""});
+                     "", 3.0 * sparse_bytes});
 
     // Edge-weighted SpMM forward + backward (the GraphAug training step's
     // differentiable propagation), d = 32.
@@ -317,7 +348,8 @@ std::vector<KernelCase> BuildKernelCases(bool fast) {
     InitNormal(b.get(), &rng);
     cases.push_back({"elementwise_add", std::to_string(n),
                      static_cast<double>(n),
-                     [a, b] { return Add(*a, *b); }, ""});
+                     [a, b] { return Add(*a, *b); }, "",
+                     12.0 * static_cast<double>(n)});
   }
 
   // Full-ranking evaluation: score + mask + top-K + metrics over every
@@ -393,17 +425,24 @@ int RunKernelBaseline(const FlagParser& flags) {
   // is the pool width the sweep actually used (GRAPHAUG_NUM_THREADS can
   // narrow it, which used to masquerade as the hardware value here).
   std::fprintf(f, "%s", bench::BenchEnvJsonFields(env, 2).c_str());
+  std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+               SimdLevelName(ActiveSimdLevel()));
   std::fprintf(f, "  \"threads_resolved\": %d,\n  \"kernels\": [\n", hw);
 
   for (size_t ci = 0; ci < cases.size(); ++ci) {
     const KernelCase& kc = cases[ci];
-    std::fprintf(stderr, "[%zu/%zu] %s (%s)\n", ci + 1, cases.size(),
-                 kc.name.c_str(), kc.shape.c_str());
+    // Pin the dispatch mode for the whole case (warmup + timed reps), then
+    // fall back to the probe default for the next one.
+    ForceScalarKernels(kc.force_scalar);
+    const char* simd_name = simd::ActiveKernels().name;
+    std::fprintf(stderr, "[%zu/%zu] %s (%s, %s)\n", ci + 1, cases.size(),
+                 kc.name.c_str(), kc.shape.c_str(), simd_name);
     Matrix reference;
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"shape\": \"%s\", \"work\": %.6g,\n"
+                 "    {\"name\": \"%s\", \"shape\": \"%s\", \"work\": %.6g, "
+                 "\"simd\": \"%s\",\n"
                  "     \"runs\": [\n",
-                 kc.name.c_str(), kc.shape.c_str(), kc.work);
+                 kc.name.c_str(), kc.shape.c_str(), kc.work, simd_name);
     // Warmup pass per thread count: populates lazy caches and records the
     // outputs for the determinism check. Timed reps are then interleaved
     // across thread counts (rep 0 at every width, then rep 1, ...) so
@@ -434,16 +473,25 @@ int RunKernelBaseline(const FlagParser& flags) {
     }
     const double serial_seconds = best_seconds[0];
     for (size_t ti = 0; ti < counts.size(); ++ti) {
+      const double gflops = kc.work / best_seconds[ti] / 1e9;
+      std::string gbps;
+      if (kc.bytes > 0) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), ", \"gbps\": %.4g",
+                      kc.bytes / best_seconds[ti] / 1e9);
+        gbps = buf;
+      }
       std::fprintf(
           f,
           "      {\"threads\": %d, \"seconds\": %.6g, \"speedup_vs_1\": "
-          "%.4g, \"bitwise_equal_to_serial\": %s}%s\n",
+          "%.4g, \"gflops\": %.4g%s, \"bitwise_equal_to_serial\": %s}%s\n",
           counts[ti], best_seconds[ti], serial_seconds / best_seconds[ti],
-          bitwise_ok[ti] ? "true" : "false",
+          gflops, gbps.c_str(), bitwise_ok[ti] ? "true" : "false",
           ti + 1 < counts.size() ? "," : "");
-      std::fprintf(stderr, "    threads=%d  %.4fs  speedup=%.2fx  %s\n",
+      std::fprintf(stderr,
+                   "    threads=%d  %.4fs  speedup=%.2fx  %.2f GFLOP/s  %s\n",
                    counts[ti], best_seconds[ti],
-                   serial_seconds / best_seconds[ti],
+                   serial_seconds / best_seconds[ti], gflops,
                    bitwise_ok[ti] ? "bitwise-ok" : "MISMATCH");
       if (!bitwise_ok[ti]) {
         std::fclose(f);
@@ -475,6 +523,7 @@ int RunKernelBaseline(const FlagParser& flags) {
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
+  ForceScalarKernels(false);
   SetNumThreads(0);
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   return 0;

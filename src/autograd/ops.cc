@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "obs/autograd_profiler.h"
+#include "tensor/kernel_dispatch.h"
 #include "tensor/ops.h"
 
 namespace graphaug::ag {
@@ -291,15 +292,14 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
   const int64_t d = h.cols();
   const auto& row_ptr = m.row_ptr();
   const auto& col_idx = m.col_idx();
+  const simd::KernelTable& fwd_kt = simd::ActiveKernels();
   ParallelFor(0, m.rows(), SpmmRowGrain(m.rows(), m.nnz(), d),
               [&](int64_t r0, int64_t r1) {
                 for (int64_t r = r0; r < r1; ++r) {
-                  float* orow = y.row(r);
-                  for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-                    const float v = (*values)[static_cast<size_t>(k)];
-                    const float* hrow = h.row(col_idx[k]);
-                    for (int64_t c = 0; c < d; ++c) orow[c] += v * hrow[c];
-                  }
+                  const int64_t k0 = row_ptr[r];
+                  fwd_kt.spmm_segment(values->data() + k0,
+                                      col_idx.data() + k0, row_ptr[r + 1] - k0,
+                                      h.data(), d, y.row(r));
                 }
               });
 
@@ -333,6 +333,7 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
       // same order as a fully serial pass — because several nonzeros (the
       // two directions of one interaction) can map to the same edge.
       std::vector<float> per_nnz(static_cast<size_t>(m.nnz()), 0.f);
+      const simd::KernelTable& bwd_kt = simd::ActiveKernels();
       ParallelFor(0, m.rows(), SpmmRowGrain(m.rows(), m.nnz(), d),
                   [&](int64_t r0, int64_t r1) {
                     for (int64_t r = r0; r < r1; ++r) {
@@ -341,14 +342,10 @@ Var EdgeWeightedSpmm(const NormalizedAdjacency* adj, Var edge_w, Var dense) {
                         if (adj->nnz_to_edge[static_cast<size_t>(k)] < 0) {
                           continue;
                         }
-                        const float* hrow = h.row(col_idx[k]);
-                        double dot = 0;
-                        for (int64_t c = 0; c < d; ++c) {
-                          dot += static_cast<double>(urow[c]) * hrow[c];
-                        }
                         per_nnz[static_cast<size_t>(k)] =
                             adj->base_values[static_cast<size_t>(k)] *
-                            static_cast<float>(dot);
+                            static_cast<float>(
+                                bwd_kt.dot(urow, h.row(col_idx[k]), d));
                       }
                     }
                   });
@@ -588,28 +585,25 @@ Var LogSumExpRows(Var a) {
            4.0 * static_cast<double>(a.value().size()));
   const int aid = a.id();
   const Matrix& x = a.value();
+  GA_CHECK_GE(x.cols(), 1) << "LogSumExpRows needs at least one column";
   Matrix y(x.rows(), 1);
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* row = x.row(r);
-    float mx = row[0];
-    for (int64_t c = 1; c < x.cols(); ++c) mx = std::max(mx, row[c]);
-    double s = 0;
-    for (int64_t c = 0; c < x.cols(); ++c) s += std::exp(row[c] - mx);
-    y[r] = mx + static_cast<float>(std::log(s));
+  {
+    const simd::KernelTable& kt = simd::ActiveKernels();
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      const float* row = x.row(r);
+      const float mx = kt.rowmax(row, x.cols());
+      y[r] = mx + static_cast<float>(std::log(kt.exp_sum(row, x.cols(), mx)));
+    }
   }
   auto lse = std::make_shared<Matrix>(y);
   return t->Emit(std::move(y), t->NeedsGrad(aid),
                  [aid, lse](Tape* t, const Matrix& up) {
                    const Matrix& x = t->ValueOf(aid);
                    Matrix g(x.rows(), x.cols());
+                   const simd::KernelTable& kt = simd::ActiveKernels();
                    for (int64_t r = 0; r < x.rows(); ++r) {
-                     const float* row = x.row(r);
-                     float* grow = g.row(r);
-                     const float l = (*lse)[r];
-                     const float u = up[r];
-                     for (int64_t c = 0; c < x.cols(); ++c) {
-                       grow[c] = u * std::exp(row[c] - l);
-                     }
+                     kt.exp_scale(x.row(r), (*lse)[r], up[r], g.row(r),
+                                  x.cols());
                    }
                    t->AccumulateGrad(aid, g);
                  });

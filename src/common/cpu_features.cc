@@ -1,0 +1,67 @@
+#include "common/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace graphaug {
+namespace {
+
+/// -1 = not yet probed; otherwise a SimdLevel value.
+std::atomic<int> g_detected{-1};
+/// 0 = follow env/probe, 1 = forced scalar, 2 = force explicitly cleared
+/// (API override beats the env var in both directions).
+std::atomic<int> g_force{0};
+
+bool EnvForcesScalar() {
+  const char* v = std::getenv("GRAPHAUG_FORCE_SCALAR");
+  if (v == nullptr) return false;
+  // Accept any value except the explicit "off" spellings, so
+  // GRAPHAUG_FORCE_SCALAR=1 in CI job definitions reads naturally.
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "") != 0;
+}
+
+SimdLevel Probe() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads the cpuid feature words cached by the
+  // compiler runtime. AVX2 kernels also assume FMA-era 256-bit shuffles,
+  // so require both bits even though the kernels never emit FMA.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace
+
+SimdLevel DetectSimdLevel() {
+  int d = g_detected.load(std::memory_order_relaxed);
+  if (d < 0) {
+    d = static_cast<int>(Probe());
+    g_detected.store(d, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(d);
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const bool env_forces_scalar = EnvForcesScalar();  // read once
+  const int force = g_force.load(std::memory_order_relaxed);
+  if (force == 1) return SimdLevel::kScalar;
+  if (force == 0 && env_forces_scalar) return SimdLevel::kScalar;
+  return DetectSimdLevel();
+}
+
+void ForceScalarKernels(bool force) {
+  g_force.store(force ? 1 : 2, std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace graphaug

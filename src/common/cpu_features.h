@@ -1,0 +1,48 @@
+#ifndef GRAPHAUG_COMMON_CPU_FEATURES_H_
+#define GRAPHAUG_COMMON_CPU_FEATURES_H_
+
+namespace graphaug {
+
+/// Runtime CPU-feature probe backing the SIMD kernel dispatch layer
+/// (src/tensor/kernel_dispatch.h). Binaries are compiled for the portable
+/// baseline ISA; vector microkernels live in translation units built with
+/// wider codegen and are only ever *called* when the probe confirms the
+/// host supports them, so one binary runs everywhere.
+///
+/// Resolution order for the active level:
+///   1. ForceScalarKernels(true)        — test/bench hook, highest priority
+///   2. GRAPHAUG_FORCE_SCALAR env var   — read once at first query
+///   3. cpuid probe                     — AVX2 requires both AVX2 and FMA
+///      feature bits (they ship together on every AVX2 core; probing both
+///      keeps the contract explicit even though the kernels avoid FMA
+///      contraction — see DESIGN.md §9 on the bitwise-parity tradeoff)
+/// Unsupported hardware always resolves to kScalar; the scalar path is the
+/// default, not an error.
+
+/// ISA tiers the dispatch layer distinguishes. Ordered: higher enum value
+/// means a superset ISA.
+enum class SimdLevel {
+  kScalar = 0,  ///< portable baseline kernels (any hardware)
+  kAvx2 = 1,    ///< AVX2 256-bit kernels (x86-64 with AVX2 + FMA)
+};
+
+/// Raw cpuid probe of the host, ignoring overrides. Cached after the
+/// first call; thread-safe.
+SimdLevel DetectSimdLevel();
+
+/// The level the dispatch layer should use now: kScalar when forced (API
+/// or env), otherwise DetectSimdLevel(). Thread-safe, cheap (one relaxed
+/// atomic load after initialization).
+SimdLevel ActiveSimdLevel();
+
+/// Test/bench hook: pins ActiveSimdLevel() to kScalar (true) or restores
+/// probe-based resolution (false). Overrides GRAPHAUG_FORCE_SCALAR. Call
+/// only between kernel invocations.
+void ForceScalarKernels(bool force);
+
+/// Human-readable level name ("scalar", "avx2") for logs and bench JSON.
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_CPU_FEATURES_H_

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "obs/trace.h"
+#include "tensor/kernel_dispatch.h"
 
 namespace graphaug {
 namespace {
@@ -81,17 +82,17 @@ void CscMirrorSpmm(const CscMirror& mirror, const float* pv,
   GA_CHECK_EQ(out->cols(), d);
   variant = ResolveVariant(variant, m_rows, mirror.nnz(), dense.rows(), d);
   const int64_t grain = SpmmTGrain(m_rows, mirror.nnz(), d);
+  const simd::KernelTable& kt = simd::ActiveKernels();
   if (variant != SpmmTVariant::kTiled) {
     // kPermuted (and kGather callers pre-permute pv): stream the
-    // contiguous mirror values, gather dense rows directly.
+    // contiguous mirror values, gather dense rows directly. Each output
+    // row is one spmm_segment call — the dispatch table's row kernel.
     ParallelFor(0, m_rows, grain, [&](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
-        float* orow = out->row(r);
-        for (int64_t k = mirror.col_ptr[r]; k < mirror.col_ptr[r + 1]; ++k) {
-          const float v = pv[k];
-          const float* drow = dense.row(mirror.row_idx[k]);
-          for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
-        }
+        const int64_t k0 = mirror.col_ptr[r];
+        kt.spmm_segment(pv + k0, mirror.row_idx.data() + k0,
+                        mirror.col_ptr[r + 1] - k0, dense.data(), d,
+                        out->row(r));
       }
     });
     return;
@@ -114,16 +115,17 @@ void CscMirrorSpmm(const CscMirror& mirror, const float* pv,
       const int32_t t1 = static_cast<int32_t>(
           std::min<int64_t>(src_rows, t0 + tile_rows));
       for (int64_t r = r0; r < r1; ++r) {
-        int64_t k = cursor[static_cast<size_t>(r - r0)];
+        const int64_t k0 = cursor[static_cast<size_t>(r - r0)];
         const int64_t kend = mirror.col_ptr[r + 1];
-        if (k >= kend || mirror.row_idx[k] >= t1) continue;
-        float* orow = out->row(r);
-        do {
-          const float v = pv[k];
-          const float* drow = dense.row(mirror.row_idx[k]);
-          for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
-          ++k;
-        } while (k < kend && mirror.row_idx[k] < t1);
+        if (k0 >= kend || mirror.row_idx[k0] >= t1) continue;
+        // Scan ahead to the end of this tile's nonzero run, then hand the
+        // whole contiguous segment to the row kernel in one call. The
+        // per-element order is unchanged, so tiling stays bitwise
+        // identical to the untiled stream.
+        int64_t k = k0;
+        while (k < kend && mirror.row_idx[k] < t1) ++k;
+        kt.spmm_segment(pv + k0, mirror.row_idx.data() + k0, k - k0,
+                        dense.data(), d, out->row(r));
         cursor[static_cast<size_t>(r - r0)] = k;
       }
     }
@@ -203,15 +205,14 @@ void CsrMatrix::Spmm(const Matrix& dense, Matrix* out, bool accumulate) const {
     *out = Matrix(rows_, dense.cols());
   }
   const int64_t d = dense.cols();
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, rows_, SpmmGrain(rows_, nnz(), d),
               [&](int64_t r0, int64_t r1) {
                 for (int64_t r = r0; r < r1; ++r) {
-                  float* orow = out->row(r);
-                  for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-                    const float v = values_[k];
-                    const float* drow = dense.row(col_idx_[k]);
-                    for (int64_t c = 0; c < d; ++c) orow[c] += v * drow[c];
-                  }
+                  const int64_t k0 = row_ptr_[r];
+                  kt.spmm_segment(values_.data() + k0, col_idx_.data() + k0,
+                                  row_ptr_[r + 1] - k0, dense.data(), d,
+                                  out->row(r));
                 }
               });
 }

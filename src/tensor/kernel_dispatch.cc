@@ -1,0 +1,15 @@
+#include "tensor/kernel_dispatch.h"
+
+#include "common/cpu_features.h"
+
+namespace graphaug::simd {
+
+const KernelTable& ActiveKernels() {
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    const KernelTable* t = Avx2KernelsOrNull();
+    if (t != nullptr) return *t;
+  }
+  return ScalarKernels();
+}
+
+}  // namespace graphaug::simd

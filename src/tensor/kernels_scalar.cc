@@ -1,0 +1,117 @@
+// Portable baseline kernel table. These loops define the reference
+// semantics of every dispatched primitive: gemm_micro / spmm_segment use
+// ascending-k multiply-then-add per output element (the order the AVX2
+// table reproduces bitwise), and the reductions keep the pre-dispatch
+// serial accumulation order so forced-scalar runs reproduce the historic
+// kernels exactly. Compiled with the default (baseline-ISA) flags — the
+// auto-vectorizer may use SSE here, which preserves IEEE semantics and
+// therefore bitwise results.
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernel_dispatch.h"
+
+namespace graphaug::simd {
+namespace {
+
+void GemmMicroScalar(int64_t kc, const float* ap, const float* bp, float* c,
+                     int64_t ldc, int mr, int nr) {
+  float acc[kGemmMR][kGemmNR];
+  for (int ii = 0; ii < mr; ++ii) {
+    for (int jj = 0; jj < nr; ++jj) acc[ii][jj] = c[ii * ldc + jj];
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* app = ap + p * mr;
+    const float* bpp = bp + p * kGemmNR;
+    for (int ii = 0; ii < mr; ++ii) {
+      const float av = app[ii];
+      for (int jj = 0; jj < nr; ++jj) acc[ii][jj] += av * bpp[jj];
+    }
+  }
+  for (int ii = 0; ii < mr; ++ii) {
+    for (int jj = 0; jj < nr; ++jj) c[ii * ldc + jj] = acc[ii][jj];
+  }
+}
+
+void SpmmSegmentScalar(const float* vals, const int32_t* idx, int64_t count,
+                       const float* dense, int64_t d, float* out_row) {
+  for (int64_t e = 0; e < count; ++e) {
+    const float v = vals[e];
+    const float* drow = dense + static_cast<int64_t>(idx[e]) * d;
+    for (int64_t c = 0; c < d; ++c) out_row[c] += v * drow[c];
+  }
+}
+
+void AddScalar(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void SubScalar(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void MulScalar(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ScaleScalar(const float* a, float s, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void AxpyScalar(float s, const float* b, float* a, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) a[i] += s * b[i];
+}
+
+double SumScalar(const float* a, int64_t n) {
+  double s = 0;
+  for (int64_t i = 0; i < n; ++i) s += a[i];
+  return s;
+}
+
+double SqnormScalar(const float* a, int64_t n) {
+  double s = 0;
+  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * a[i];
+  return s;
+}
+
+double DotScalar(const float* a, const float* b, int64_t n) {
+  double s = 0;
+  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * b[i];
+  return s;
+}
+
+float MaxAbsScalar(const float* a, int64_t n) {
+  float m = 0.f;
+  for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+float RowMaxScalar(const float* a, int64_t n) {
+  float mx = a[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, a[i]);
+  return mx;
+}
+
+double ExpSumScalar(const float* a, int64_t n, float mx) {
+  double s = 0;
+  for (int64_t i = 0; i < n; ++i) s += std::exp(a[i] - mx);
+  return s;
+}
+
+void ExpScaleScalar(const float* a, float l, float u, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = u * std::exp(a[i] - l);
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",        GemmMicroScalar, SpmmSegmentScalar, AddScalar,
+    SubScalar,       MulScalar,       ScaleScalar,       AxpyScalar,
+    SumScalar,       SqnormScalar,    DotScalar,         MaxAbsScalar,
+    RowMaxScalar,    ExpSumScalar,    ExpScaleScalar,
+};
+
+}  // namespace
+
+const KernelTable& ScalarKernels() { return kScalarTable; }
+
+}  // namespace graphaug::simd

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "obs/trace.h"
+#include "tensor/kernel_dispatch.h"
 
 namespace graphaug {
 namespace {
@@ -16,78 +17,70 @@ namespace {
 constexpr int64_t kElemGrain = 1 << 15;    // elementwise ops, elems/chunk
 constexpr int64_t kReduceGrain = 1 << 16;  // full reductions, elems/chunk
 
-// Rows per GEMM/row-kernel chunk, sized so each chunk carries ~64K inner
+// Rows per row-kernel chunk, sized so each chunk carries ~64K inner
 // multiply-adds regardless of row width.
 int64_t RowGrain(int64_t work_per_row) {
   return std::max<int64_t>(1, (int64_t{64} << 10) /
                                   std::max<int64_t>(1, work_per_row));
 }
 
-// Kernels specialized on the four transpose combinations, each expressed
-// over a panel [r0, r1) of *output* rows so panels can run on different
-// threads without write conflicts. Per-element accumulation order (p
-// ascending) is identical to the original serial loops, so parallel output
-// is bitwise equal to serial output. The common case (NN) iterates k in
-// the middle loop so the innermost loop streams both b and out rows, which
-// vectorizes well.
-void GemmNN(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
-            int64_t r0, int64_t r1) {
-  const int64_t k = a.cols(), n = b.cols();
-  for (int64_t i = r0; i < r1; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = alpha * arow[p];
-      if (av == 0.f) continue;
-      const float* brow = b.row(p);
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+// Packed-panel GEMM blocking (DESIGN.md §9). KC limits the packed-panel
+// depth so one B block (KC x NC floats = 1MB) stays L2-resident across
+// the whole row sweep, with the A panel (MR x KC = 6KB) in L1. All four
+// transpose variants are folded into packing, so one microkernel pair
+// (scalar / AVX2, simd::KernelTable) serves every case. Accumulation
+// order per output element is p ascending across KC blocks with separate
+// mul/add rounding — the property that keeps every (variant, thread
+// count) combination bitwise identical.
+constexpr int64_t kGemmKC = 256;
+constexpr int64_t kGemmNC = 1024;
+
+using simd::kGemmMR;
+using simd::kGemmNR;
+
+// Packs alpha * op(a)[i0 : i0+mr, pc : pc+kc] into a column-major panel:
+// ap[p*mr + ii]. Folding alpha here reproduces the historic kernels'
+// "av = alpha * a" single rounding before the multiply-add stream.
+void PackA(const Matrix& a, bool trans_a, float alpha, int64_t i0, int mr,
+           int64_t pc, int64_t kc, float* ap) {
+  if (!trans_a) {
+    for (int ii = 0; ii < mr; ++ii) {
+      const float* arow = a.row(i0 + ii) + pc;
+      for (int64_t p = 0; p < kc; ++p) ap[p * mr + ii] = alpha * arow[p];
+    }
+  } else {
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* arow = a.row(pc + p) + i0;
+      for (int ii = 0; ii < mr; ++ii) ap[p * mr + ii] = alpha * arow[ii];
     }
   }
 }
 
-void GemmTN(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
-            int64_t r0, int64_t r1) {
-  // out = a^T * b : a is (k x m), b is (k x n); out row i reads column i
-  // of a. p stays the outer-of-inner loop so accumulation order per
-  // element matches the untransposed kernels.
-  const int64_t k = a.rows(), n = b.cols();
-  for (int64_t i = r0; i < r1; ++i) {
-    float* orow = out->row(i);
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = alpha * a.at(p, i);
-      if (av == 0.f) continue;
-      const float* brow = b.row(p);
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-void GemmNT(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
-            int64_t r0, int64_t r1) {
-  // out = a * b^T : a is (m x k), b is (n x k).
-  const int64_t k = a.cols(), n = b.rows();
-  for (int64_t i = r0; i < r1; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.f;
-      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      orow[j] += alpha * acc;
-    }
-  }
-}
-
-void GemmTT(const Matrix& a, const Matrix& b, float alpha, Matrix* out,
-            int64_t r0, int64_t r1) {
-  // out = a^T * b^T : a is (k x m), b is (n x k).
-  const int64_t k = a.rows(), n = b.rows();
-  for (int64_t i = r0; i < r1; ++i) {
-    float* orow = out->row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      float acc = 0.f;
-      for (int64_t p = 0; p < k; ++p) acc += a.at(p, i) * b.at(j, p);
-      orow[j] += alpha * acc;
+// Packs op(b)[pc : pc+kc, jc : jc+nc] into kGemmNR-wide row panels laid
+// out back to back (each panel kc * kGemmNR floats), zero-padding the
+// ragged last panel so the microkernel can always run full-width B loads.
+void PackB(const Matrix& b, bool trans_b, int64_t pc, int64_t kc, int64_t jc,
+           int64_t nc, float* bp) {
+  for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+    float* dst = bp + (jr / kGemmNR) * kc * kGemmNR;
+    const int nr = static_cast<int>(std::min<int64_t>(kGemmNR, nc - jr));
+    if (!trans_b) {
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* brow = b.row(pc + p) + jc + jr;
+        float* drow = dst + p * kGemmNR;
+        for (int jj = 0; jj < nr; ++jj) drow[jj] = brow[jj];
+        for (int jj = nr; jj < kGemmNR; ++jj) drow[jj] = 0.f;
+      }
+    } else {
+      // op(b)(p, j) = b(j, p): walk rows of b for stride-1 reads.
+      for (int jj = 0; jj < nr; ++jj) {
+        const float* brow = b.row(jc + jr + jj) + pc;
+        for (int64_t p = 0; p < kc; ++p) dst[p * kGemmNR + jj] = brow[p];
+      }
+      for (int64_t p = 0; p < kc; ++p) {
+        float* drow = dst + p * kGemmNR;
+        for (int jj = nr; jj < kGemmNR; ++jj) drow[jj] = 0.f;
+      }
     }
   }
 }
@@ -112,23 +105,40 @@ void Gemm(const Matrix& a, bool trans_a, const Matrix& b, bool trans_b,
       for (int64_t i = i0; i < i1; ++i) (*out)[i] *= beta;
     });
   }
-  const int64_t grain = RowGrain(ka * n);
-  if (!trans_a && !trans_b) {
-    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
-      GemmNN(a, b, alpha, out, r0, r1);
-    });
-  } else if (trans_a && !trans_b) {
-    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
-      GemmTN(a, b, alpha, out, r0, r1);
-    });
-  } else if (!trans_a && trans_b) {
-    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
-      GemmNT(a, b, alpha, out, r0, r1);
-    });
-  } else {
-    ParallelFor(0, m, grain, [&](int64_t r0, int64_t r1) {
-      GemmTT(a, b, alpha, out, r0, r1);
-    });
+  if (m == 0 || n == 0 || ka == 0) return;
+  // One table per op: the dispatch decision is taken here, never inside
+  // chunks, so a single product can't mix microkernel variants.
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  std::vector<float> bpack(
+      static_cast<size_t>(((std::min(kGemmNC, n) + kGemmNR - 1) / kGemmNR) *
+                          kGemmNR * std::min(kGemmKC, ka)));
+  const int64_t row_blocks = (m + kGemmMR - 1) / kGemmMR;
+  for (int64_t jc = 0; jc < n; jc += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, n - jc);
+    for (int64_t pc = 0; pc < ka; pc += kGemmKC) {
+      const int64_t kc = std::min(kGemmKC, ka - pc);
+      PackB(b, trans_b, pc, kc, jc, nc, bpack.data());
+      // Chunks are MR-aligned row blocks; each output row belongs to
+      // exactly one chunk, so any thread count writes the same bits.
+      const int64_t grain = std::max<int64_t>(1, RowGrain(kc * nc) / kGemmMR);
+      ParallelFor(0, row_blocks, grain, [&](int64_t b0, int64_t b1) {
+        thread_local std::vector<float> apack;
+        apack.resize(static_cast<size_t>(kGemmMR * kc));
+        for (int64_t ib = b0; ib < b1; ++ib) {
+          const int64_t i0 = ib * kGemmMR;
+          const int mr = static_cast<int>(std::min<int64_t>(kGemmMR, m - i0));
+          PackA(a, trans_a, alpha, i0, mr, pc, kc, apack.data());
+          float* crow = out->row(i0) + jc;
+          for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+            const int nr =
+                static_cast<int>(std::min<int64_t>(kGemmNR, nc - jr));
+            kt.gemm_micro(kc, apack.data(),
+                          bpack.data() + (jr / kGemmNR) * kc * kGemmNR,
+                          crow + jr, out->cols(), mr, nr);
+          }
+        }
+      });
+    }
   }
 }
 
@@ -141,8 +151,9 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 Matrix Add(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b)) << a.ShapeString() << " vs " << b.ShapeString();
   Matrix out(a.rows(), a.cols());
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] + b[i];
+    kt.add(a.data() + i0, b.data() + i0, out.data() + i0, i1 - i0);
   });
   return out;
 }
@@ -150,8 +161,9 @@ Matrix Add(const Matrix& a, const Matrix& b) {
 Matrix Sub(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b));
   Matrix out(a.rows(), a.cols());
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] - b[i];
+    kt.sub(a.data() + i0, b.data() + i0, out.data() + i0, i1 - i0);
   });
   return out;
 }
@@ -159,31 +171,35 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 Matrix Mul(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b));
   Matrix out(a.rows(), a.cols());
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] * b[i];
+    kt.mul(a.data() + i0, b.data() + i0, out.data() + i0, i1 - i0);
   });
   return out;
 }
 
 Matrix Scale(const Matrix& a, float s) {
   Matrix out(a.rows(), a.cols());
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) out[i] = a[i] * s;
+    kt.scale(a.data() + i0, s, out.data() + i0, i1 - i0);
   });
   return out;
 }
 
 void AddInPlace(Matrix* a, const Matrix& b) {
   GA_CHECK(a->SameShape(b));
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a->size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) (*a)[i] += b[i];
+    kt.add(a->data() + i0, b.data() + i0, a->data() + i0, i1 - i0);
   });
 }
 
 void Axpy(float s, const Matrix& b, Matrix* a) {
   GA_CHECK(a->SameShape(b));
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a->size(), kElemGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) (*a)[i] += s * b[i];
+    kt.axpy(s, b.data() + i0, a->data() + i0, i1 - i0);
   });
 }
 
@@ -196,11 +212,10 @@ Matrix Map(const Matrix& a, const std::function<float(float)>& fn) {
 }
 
 double SumAll(const Matrix& a) {
+  const simd::KernelTable& kt = simd::ActiveKernels();
   return ParallelReduce(0, a.size(), kReduceGrain,
                         [&](int64_t i0, int64_t i1) {
-                          double s = 0;
-                          for (int64_t i = i0; i < i1; ++i) s += a[i];
-                          return s;
+                          return kt.sum(a.data() + i0, i1 - i0);
                         });
 }
 
@@ -210,18 +225,14 @@ double MeanAll(const Matrix& a) {
 
 float MaxAbs(const Matrix& a) {
   // max is order-independent, so a plain racy-free chunked max is exact.
+  const simd::KernelTable& kt = simd::ActiveKernels();
   const int64_t n = a.size();
   const int64_t chunks = (n + kReduceGrain - 1) / kReduceGrain;
-  if (chunks <= 1) {
-    float m = 0.f;
-    for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(a[i]));
-    return m;
-  }
+  if (chunks <= 1) return n == 0 ? 0.f : kt.maxabs(a.data(), n);
   std::vector<float> partial(static_cast<size_t>(chunks), 0.f);
   ParallelFor(0, n, kReduceGrain, [&](int64_t i0, int64_t i1) {
-    float m = 0.f;
-    for (int64_t i = i0; i < i1; ++i) m = std::max(m, std::fabs(a[i]));
-    partial[static_cast<size_t>(i0 / kReduceGrain)] = m;
+    partial[static_cast<size_t>(i0 / kReduceGrain)] =
+        kt.maxabs(a.data() + i0, i1 - i0);
   });
   float m = 0.f;
   for (float p : partial) m = std::max(m, p);
@@ -229,24 +240,19 @@ float MaxAbs(const Matrix& a) {
 }
 
 double SquaredNorm(const Matrix& a) {
+  const simd::KernelTable& kt = simd::ActiveKernels();
   return ParallelReduce(0, a.size(), kReduceGrain,
                         [&](int64_t i0, int64_t i1) {
-                          double s = 0;
-                          for (int64_t i = i0; i < i1; ++i) {
-                            s += static_cast<double>(a[i]) * a[i];
-                          }
-                          return s;
+                          return kt.sqnorm(a.data() + i0, i1 - i0);
                         });
 }
 
 Matrix RowSum(const Matrix& a) {
   Matrix out(a.rows(), 1);
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      double s = 0;
-      const float* row = a.row(r);
-      for (int64_t c = 0; c < a.cols(); ++c) s += row[c];
-      out[r] = static_cast<float>(s);
+      out[r] = static_cast<float>(kt.sum(a.row(r), a.cols()));
     }
   });
   return out;
@@ -261,14 +267,11 @@ Matrix RowMean(const Matrix& a) {
 
 Matrix RowNorm(const Matrix& a, float eps) {
   Matrix out(a.rows(), 1);
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      double s = 0;
-      const float* row = a.row(r);
-      for (int64_t c = 0; c < a.cols(); ++c) {
-        s += static_cast<double>(row[c]) * row[c];
-      }
-      out[r] = std::max(eps, static_cast<float>(std::sqrt(s)));
+      out[r] = std::max(
+          eps, static_cast<float>(std::sqrt(kt.sqnorm(a.row(r), a.cols()))));
     }
   });
   return out;
@@ -277,15 +280,10 @@ Matrix RowNorm(const Matrix& a, float eps) {
 Matrix RowDot(const Matrix& a, const Matrix& b) {
   GA_CHECK(a.SameShape(b));
   Matrix out(a.rows(), 1);
+  const simd::KernelTable& kt = simd::ActiveKernels();
   ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
-      const float* ar = a.row(r);
-      const float* br = b.row(r);
-      double s = 0;
-      for (int64_t c = 0; c < a.cols(); ++c) {
-        s += static_cast<double>(ar[c]) * br[c];
-      }
-      out[r] = static_cast<float>(s);
+      out[r] = static_cast<float>(kt.dot(a.row(r), b.row(r), a.cols()));
     }
   });
   return out;

@@ -1,17 +1,22 @@
 // Benchmark regression gate: compares a freshly generated
 // BENCH_kernels.json against a committed baseline and fails when any
 // kernel's multi-thread speedup dropped by more than --max-drop (default
-// 10%), or when the fresh run reports a determinism violation.
+// 10%), when absolute throughput falls below --min-gflops-ratio times
+// the baseline GFLOP/s (off by default), or when the fresh run reports a
+// determinism violation.
 //
-// Comparison is by (kernel name, thread count) on the speedup_vs_1 ratio
-// — a machine-relative quantity, so a baseline generated on one box is a
-// meaningful reference for reruns on the same box (CI regenerates both
-// sides in one job). Kernels or thread counts present on one side only
-// are reported but never fail the gate, so the baseline can grow.
+// Speedup comparison is by (kernel name, thread count) on the
+// speedup_vs_1 ratio — a machine-relative quantity, so a baseline
+// generated on one box is a meaningful reference for reruns on the same
+// box (CI regenerates both sides in one job). The gflops floor compares
+// absolute numbers and therefore needs a tolerant ratio when the
+// baseline machine differs from the CI runner. Kernels or thread counts
+// present on one side only are reported but never fail the gate, so the
+// baseline can grow; points without a gflops column skip the floor.
 //
 // Usage:
 //   bench_compare --baseline=BENCH_kernels.json --current=fresh.json
-//                 [--max-drop=0.10]
+//                 [--max-drop=0.10] [--min-gflops-ratio=0.5]
 //   bench_compare --selftest        # exercises the parser and the gate
 //
 // Exit codes: 0 ok, 1 regression (or determinism violation), 2 usage /
@@ -208,9 +213,11 @@ class JsonParser {
 
 // --------------------------------------------------------------- the gate
 
-/// speedup_vs_1 and determinism per (kernel, threads).
+/// speedup_vs_1, absolute throughput, and determinism per (kernel,
+/// threads). gflops < 0 means the run predates the throughput column.
 struct RunPoint {
   double speedup = 0;
+  double gflops = -1;
   bool bitwise = true;
 };
 using RunTable = std::map<std::pair<std::string, int>, RunPoint>;
@@ -232,6 +239,7 @@ bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
     for (const JsonValue& r : runs->items) {
       const JsonValue* threads = r.Find("threads");
       const JsonValue* speedup = r.Find("speedup_vs_1");
+      const JsonValue* gflops = r.Find("gflops");
       const JsonValue* bitwise = r.Find("bitwise_equal_to_serial");
       if (threads == nullptr || speedup == nullptr) {
         *error = "run entry missing \"threads\" or \"speedup_vs_1\"";
@@ -239,6 +247,7 @@ bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
       }
       RunPoint p;
       p.speedup = speedup->number;
+      if (gflops != nullptr) p.gflops = gflops->number;
       p.bitwise = bitwise == nullptr || bitwise->boolean;
       (*out)[{name->str, static_cast<int>(threads->number)}] = p;
     }
@@ -247,9 +256,14 @@ bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
 }
 
 /// Returns the number of failures (regressions + determinism violations);
-/// prints one line per comparison point.
+/// prints one line per comparison point. Two independent criteria:
+///  * --max-drop on speedup_vs_1 (threads > 1): machine-relative scaling.
+///  * --min-gflops-ratio on absolute throughput (all thread counts,
+///    including serial): current must reach at least ratio * baseline
+///    GFLOP/s. Skipped when either side lacks the gflops column, so old
+///    baselines stay comparable. <= 0 disables.
 int Compare(const RunTable& baseline, const RunTable& current,
-            double max_drop) {
+            double max_drop, double min_gflops_ratio = 0) {
   int failures = 0;
   for (const auto& [key, base] : baseline) {
     const auto& [name, threads] = key;
@@ -265,6 +279,15 @@ int Compare(const RunTable& baseline, const RunTable& current,
                   threads);
       ++failures;
       continue;
+    }
+    if (min_gflops_ratio > 0 && base.gflops > 0 && cur.gflops > 0) {
+      const bool bad = cur.gflops < min_gflops_ratio * base.gflops;
+      std::printf(
+          "%s  %-28s t=%d  baseline=%.3g GF/s current=%.3g GF/s "
+          "(floor %.0f%%)\n",
+          bad ? "FAIL" : "OK  ", name.c_str(), threads, base.gflops,
+          cur.gflops, 100.0 * min_gflops_ratio);
+      if (bad) ++failures;
     }
     if (threads <= 1) continue;  // the serial point defines the ratio
     const double drop = (base.speedup - cur.speedup) / base.speedup;
@@ -372,6 +395,56 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: determinism violation must fail\n");
     return 1;
   }
+
+  // Throughput floor: baseline 10 GF/s serial / 18 GF/s at t=2 against a
+  // current run at 6 / 17. At ratio 0.5 the floor is 5 / 9: both pass.
+  // At 0.8 the floor is 8 / 14.4: the serial point (6 < 8) fails while
+  // t=2 passes — exactly one failure. A kernel without the gflops column
+  // ("old") must be skipped by the floor at any ratio.
+  const std::string gf_base_json = R"({
+    "kernels": [
+      {"name": "gemm", "shape": "x", "work": 1e9, "runs": [
+        {"threads": 1, "seconds": 0.1, "speedup_vs_1": 1.0, "gflops": 10.0,
+         "bitwise_equal_to_serial": true},
+        {"threads": 2, "seconds": 0.055, "speedup_vs_1": 1.8, "gflops": 18.0,
+         "bitwise_equal_to_serial": true}]},
+      {"name": "old", "shape": "x", "work": 1.0, "runs": [
+        {"threads": 1, "seconds": 1.0, "speedup_vs_1": 1.0,
+         "bitwise_equal_to_serial": true}]}
+    ]})";
+  const std::string gf_cur_json = R"({
+    "kernels": [
+      {"name": "gemm", "shape": "x", "work": 1e9, "runs": [
+        {"threads": 1, "seconds": 0.167, "speedup_vs_1": 1.0, "gflops": 6.0,
+         "bitwise_equal_to_serial": true},
+        {"threads": 2, "seconds": 0.059, "speedup_vs_1": 1.7, "gflops": 17.0,
+         "bitwise_equal_to_serial": true}]},
+      {"name": "old", "shape": "x", "work": 1.0, "runs": [
+        {"threads": 1, "seconds": 1.0, "speedup_vs_1": 1.0,
+         "bitwise_equal_to_serial": true}]}
+    ]})";
+  RunTable gf_base, gf_cur;
+  if (!parse(gf_base_json, &gf_base) || !parse(gf_cur_json, &gf_cur)) {
+    std::fprintf(stderr, "selftest: gflops parse failed\n");
+    return 1;
+  }
+  if (gf_base.at({"gemm", 1}).gflops != 10.0 ||
+      gf_base.at({"old", 1}).gflops >= 0) {
+    std::fprintf(stderr, "selftest: gflops column misparsed\n");
+    return 1;
+  }
+  if (Compare(gf_base, gf_cur, 0.10, 0.5) != 0) {
+    std::fprintf(stderr, "selftest: 60%% of baseline must pass a 0.5 floor\n");
+    return 1;
+  }
+  if (Compare(gf_base, gf_cur, 0.10, 0.8) != 1) {
+    std::fprintf(stderr, "selftest: 60%% of baseline must fail a 0.8 floor\n");
+    return 1;
+  }
+  if (Compare(gf_base, gf_cur, 0.10) != 0) {
+    std::fprintf(stderr, "selftest: floor must be off by default\n");
+    return 1;
+  }
   std::printf("bench_compare selftest: ok\n");
   return 0;
 }
@@ -382,10 +455,11 @@ int Run(int argc, char** argv) {
   const std::string baseline_path = flags.GetString("baseline", "");
   const std::string current_path = flags.GetString("current", "");
   const double max_drop = flags.GetDouble("max-drop", 0.10);
+  const double min_gflops_ratio = flags.GetDouble("min-gflops-ratio", 0.0);
   if (baseline_path.empty() || current_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_compare --baseline=FILE --current=FILE "
-                 "[--max-drop=0.10] | --selftest\n");
+                 "[--max-drop=0.10] [--min-gflops-ratio=0.5] | --selftest\n");
     return 2;
   }
   RunTable baseline, current;
@@ -393,7 +467,7 @@ int Run(int argc, char** argv) {
       !LoadRuns(current_path, &current)) {
     return 2;
   }
-  const int failures = Compare(baseline, current, max_drop);
+  const int failures = Compare(baseline, current, max_drop, min_gflops_ratio);
   if (failures > 0) {
     std::printf("bench_compare: %d regression(s) beyond %.0f%%\n", failures,
                 100.0 * max_drop);
