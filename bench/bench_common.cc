@@ -1,11 +1,10 @@
 #include "bench/bench_common.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <map>
-#include <thread>
+
+#include "common/env.h"
 
 namespace graphaug::bench {
 
@@ -98,30 +97,11 @@ GraphAugConfig MakeGraphAugConfig(const BenchSettings& settings,
 }
 
 BenchEnv GetBenchEnv() {
+  const RuntimeEnv probed = ProbeRuntimeEnv();
   BenchEnv env;
-  env.hardware_concurrency =
-      std::max(1u, std::thread::hardware_concurrency());
-
-  env.git_sha = "unknown";
-  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-    char buf[64] = {0};
-    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
-      std::string sha(buf);
-      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
-        sha.pop_back();
-      }
-      if (!sha.empty()) env.git_sha = sha;
-    }
-    pclose(p);
-  }
-
-  const std::time_t now = std::time(nullptr);
-  std::tm utc = {};
-  if (gmtime_r(&now, &utc) != nullptr) {
-    char ts[32];
-    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
-    env.timestamp_utc = ts;
-  }
+  env.hardware_concurrency = probed.hardware_concurrency;
+  env.git_sha = probed.git_sha;
+  env.timestamp_utc = probed.timestamp_utc;
   return env;
 }
 

@@ -34,6 +34,8 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "models/propagation.h"
+#include "obs/memory.h"
+#include "obs/perf_counters.h"
 #include "tensor/init.h"
 #include "tensor/kernel_dispatch.h"
 #include "tensor/ops.h"
@@ -419,8 +421,15 @@ int RunKernelBaseline(const FlagParser& flags) {
   }
   std::vector<KernelCase> cases = BuildKernelCases(fast);
   const bench::BenchEnv env = bench::GetBenchEnv();
+  // Probe perf_event_open once up front so the header can record whether
+  // the IPC / cache-miss columns below are populated or skipped (CI
+  // containers commonly deny perf).
+  obs::PerfCounterGroup perf;
+  if (perf.Begin()) perf.End();
   std::fprintf(f, "{\n  \"generated_by\": \"bench_micro_kernels\",\n");
   std::fprintf(f, "  \"fast_mode\": %s,\n", fast ? "true" : "false");
+  std::fprintf(f, "  \"perf_counters\": \"%s\",\n",
+               obs::PerfCountersAvailable() ? "available" : "unavailable");
   // hardware_concurrency is the machine's real core count; threads_resolved
   // is the pool width the sweep actually used (GRAPHAUG_NUM_THREADS can
   // narrow it, which used to masquerade as the hardware value here).
@@ -449,6 +458,7 @@ int RunKernelBaseline(const FlagParser& flags) {
     // slow machine-wide drift — frequency scaling, page-cache state —
     // biases every width equally instead of penalizing whichever count
     // happens to run last.
+    obs::ResetPeakBytes();  // per-case tensor high-water mark
     std::vector<bool> bitwise_ok(counts.size(), true);
     for (size_t ti = 0; ti < counts.size(); ++ti) {
       SetNumThreads(counts[ti]);
@@ -462,13 +472,24 @@ int RunKernelBaseline(const FlagParser& flags) {
                         sizeof(float) * static_cast<size_t>(out.size())) == 0;
       }
     }
+    // Counter group around the serial reps only: group reads cover the
+    // calling thread, so IPC / miss rates are meaningful exactly at
+    // threads=1 (pool workers would go uncounted at higher widths).
     std::vector<double> best_seconds(counts.size(), 1e300);
+    obs::PerfCounts best_counts;
     for (int r = 0; r < reps; ++r) {
       for (size_t ti = 0; ti < counts.size(); ++ti) {
         SetNumThreads(counts[ti]);
+        const bool counting = counts[ti] == 1 && perf.Begin();
         Stopwatch sw;
         Matrix out = kc.run();
-        best_seconds[ti] = std::min(best_seconds[ti], sw.ElapsedSeconds());
+        const double seconds = sw.ElapsedSeconds();
+        obs::PerfCounts pc;
+        if (counting) pc = perf.End();
+        if (seconds < best_seconds[ti]) {
+          best_seconds[ti] = seconds;
+          if (counts[ti] == 1) best_counts = pc;
+        }
       }
     }
     const double serial_seconds = best_seconds[0];
@@ -481,12 +502,21 @@ int RunKernelBaseline(const FlagParser& flags) {
                       kc.bytes / best_seconds[ti] / 1e9);
         gbps = buf;
       }
+      std::string perf_cols;
+      if (counts[ti] == 1 && best_counts.valid) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      ", \"ipc\": %.3f, \"cache_miss_rate\": %.4f",
+                      best_counts.Ipc(), best_counts.CacheMissRate());
+        perf_cols = buf;
+      }
       std::fprintf(
           f,
           "      {\"threads\": %d, \"seconds\": %.6g, \"speedup_vs_1\": "
-          "%.4g, \"gflops\": %.4g%s, \"bitwise_equal_to_serial\": %s}%s\n",
+          "%.4g, \"gflops\": %.4g%s%s, \"bitwise_equal_to_serial\": %s}%s\n",
           counts[ti], best_seconds[ti], serial_seconds / best_seconds[ti],
-          gflops, gbps.c_str(), bitwise_ok[ti] ? "true" : "false",
+          gflops, gbps.c_str(), perf_cols.c_str(),
+          bitwise_ok[ti] ? "true" : "false",
           ti + 1 < counts.size() ? "," : "");
       std::fprintf(stderr,
                    "    threads=%d  %.4fs  speedup=%.2fx  %.2f GFLOP/s  %s\n",
@@ -500,6 +530,10 @@ int RunKernelBaseline(const FlagParser& flags) {
       }
     }
     std::fprintf(f, "    ]");
+    // Tensor high-water mark across the case's warmup + reps (0 under
+    // GRAPHAUG_NO_OBS, where the accounting hooks compile away).
+    std::fprintf(f, ",\n     \"peak_mem_mb\": %.2f",
+                 static_cast<double>(obs::PeakBytes()) / (1024.0 * 1024.0));
     if (!kc.attribution.empty()) {
       // Implied Amdahl serial fraction from the measured timings:
       //   s(p) = (T_p/T_1 - 1/p) / (1 - 1/p)

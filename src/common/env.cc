@@ -1,0 +1,38 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+namespace graphaug {
+
+RuntimeEnv ProbeRuntimeEnv() {
+  RuntimeEnv env;
+  env.hardware_concurrency =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  env.git_sha = "unknown";
+  if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64] = {0};
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string sha(buf);
+      while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+        sha.pop_back();
+      }
+      if (!sha.empty()) env.git_sha = sha;
+    }
+    pclose(p);
+  }
+
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    char ts[32];
+    std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    env.timestamp_utc = ts;
+  }
+  return env;
+}
+
+}  // namespace graphaug

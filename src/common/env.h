@@ -1,0 +1,22 @@
+#ifndef GRAPHAUG_COMMON_ENV_H_
+#define GRAPHAUG_COMMON_ENV_H_
+
+#include <string>
+
+namespace graphaug {
+
+/// Machine/build provenance stamped into persistent artifacts
+/// (BENCH_*.json headers, run-report footers) so results from different
+/// machines or commits are never silently compared.
+struct RuntimeEnv {
+  unsigned hardware_concurrency = 1;  ///< std::thread::hardware_concurrency()
+  std::string git_sha;        ///< short HEAD sha, "unknown" off a checkout
+  std::string timestamp_utc;  ///< ISO-8601 UTC, e.g. "2026-08-05T12:34:56Z"
+};
+
+/// Probes the environment (cheap: one fork for git) on every call.
+RuntimeEnv ProbeRuntimeEnv();
+
+}  // namespace graphaug
+
+#endif  // GRAPHAUG_COMMON_ENV_H_

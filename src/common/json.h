@@ -1,0 +1,54 @@
+#ifndef GRAPHAUG_COMMON_JSON_H_
+#define GRAPHAUG_COMMON_JSON_H_
+
+/// Minimal JSON reader for the offline tools (bench_compare,
+/// report_compare): parses the subset our writers emit — objects,
+/// arrays, strings with simple escapes, numbers, booleans, null — into
+/// a tree of JsonValue. The training binaries never parse JSON; they
+/// only emit it (obs/metrics.h owns the emit-side helpers and the
+/// syntax linter).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace graphaug::json {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                           ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> fields;  ///< objects
+
+  /// First field named `key` in an object, or nullptr.
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Number value of field `key`, or `fallback` when absent/non-numeric.
+  double NumberOr(const std::string& key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+  }
+
+  /// String value of field `key`, or `fallback` when absent/non-string.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kString ? v->str : fallback;
+  }
+};
+
+/// Parses `text` as one JSON value. On failure returns false and sets
+/// `error` (when non-null) to a short position-stamped message.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace graphaug::json
+
+#endif  // GRAPHAUG_COMMON_JSON_H_

@@ -6,6 +6,10 @@
 #include "eval/evaluator.h"
 #include "models/recommender.h"
 
+namespace graphaug::obs {
+class RunReportWriter;
+}  // namespace graphaug::obs
+
 namespace graphaug {
 
 /// One entry of the convergence trace (Fig. 4).
@@ -32,6 +36,11 @@ struct TrainOptions {
   int eval_every = 5;   ///< evaluate every k epochs (always at the end)
   int patience = 0;     ///< stop after this many non-improving evals; 0=off
   bool verbose = false; ///< log per-eval progress
+  /// When set (and open), one JSONL epoch record is appended per epoch:
+  /// loss breakdown, grad/param norms, timing, live/peak tensor bytes,
+  /// and RSS. The caller owns the writer and its footer. Purely
+  /// observational — training results are identical with or without it.
+  obs::RunReportWriter* report = nullptr;
 };
 
 /// Drives epochs, periodic evaluation, learning-rate decay, early

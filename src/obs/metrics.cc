@@ -41,6 +41,30 @@ int64_t Histogram::BucketCount(size_t i) const {
   return counts_[i].load(std::memory_order_relaxed);
 }
 
+double Histogram::Quantile(double q) const {
+  const int64_t total = TotalCount();
+  if (total <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, midpoint convention).
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double n = static_cast<double>(BucketCount(i));
+    if (n <= 0) continue;
+    if (cumulative + n >= rank || i + 1 == counts_.size()) {
+      // Overflow bucket has no upper edge: clamp to the largest bound.
+      if (i >= bounds_.size()) return bounds_.back();
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+      const double frac =
+          std::min(1.0, std::max(0.0, (rank - cumulative) / n));
+      return lo + (hi - lo) * frac;
+    }
+    cumulative += n;
+  }
+  return bounds_.back();
+}
+
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -78,6 +102,13 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   histograms_.emplace_back(name, bounds);
   histogram_index_[name] = &histograms_.back();
   return &histograms_.back();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counter_index_) out[name] = c->value();
+  return out;
 }
 
 std::string JsonNumber(double v) {
@@ -140,7 +171,10 @@ std::string MetricsRegistry::ToJson() const {
       os << (i ? ", " : "") << h->BucketCount(i);
     }
     os << "], \"count\": " << h->TotalCount()
-       << ", \"sum\": " << JsonNumber(h->Sum()) << "}";
+       << ", \"sum\": " << JsonNumber(h->Sum())
+       << ", \"p50\": " << JsonNumber(h->Quantile(0.50))
+       << ", \"p95\": " << JsonNumber(h->Quantile(0.95))
+       << ", \"p99\": " << JsonNumber(h->Quantile(0.99)) << "}";
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}";
@@ -160,7 +194,10 @@ Table MetricsRegistry::ToTable() const {
     const int64_t n = h->TotalCount();
     const double mean = n > 0 ? h->Sum() / static_cast<double>(n) : 0.0;
     t.AddRow({name, "histogram",
-              "n=" + std::to_string(n) + " mean=" + FormatDouble(mean, 6)});
+              "n=" + std::to_string(n) + " mean=" + FormatDouble(mean, 6) +
+                  " p50=" + FormatDouble(h->Quantile(0.50), 6) +
+                  " p95=" + FormatDouble(h->Quantile(0.95), 6) +
+                  " p99=" + FormatDouble(h->Quantile(0.99), 6)});
   }
   return t;
 }

@@ -61,6 +61,12 @@ class Histogram {
   int64_t BucketCount(size_t i) const;
   int64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket holding the q*count-th observation. Bucket 0's lower
+  /// edge is min(0, bounds[0]); the overflow bucket clamps to
+  /// bounds.back() (the estimate cannot exceed the largest bound).
+  /// Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -87,6 +93,10 @@ class MetricsRegistry {
   /// registration (later calls with different bounds get the original).
   Histogram* GetHistogram(const std::string& name,
                           const std::vector<double>& bounds);
+
+  /// Name -> value snapshot of every registered counter (run-report
+  /// footers embed this).
+  std::map<std::string, int64_t> CounterSnapshot() const;
 
   /// JSON object with "counters" / "gauges" / "histograms" sections.
   std::string ToJson() const;

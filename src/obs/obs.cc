@@ -65,7 +65,9 @@ std::string MetricsJson() {
   os << "{\n\"metrics\": " << MetricsRegistry::Get().ToJson()
      << ",\n\"autograd_ops\": " << AutogradProfiler::Get().ToJson()
      << ",\n\"epochs\": " << HealthTracker::Get().ToJson()
-     << ",\n\"parallel\": " << ParallelJson() << "\n}";
+     << ",\n\"parallel\": " << ParallelJson()
+     << ",\n\"memory\": " << MemoryJson()
+     << ",\n\"perf\": " << PerfJson() << "\n}";
   return os.str();
 }
 
@@ -100,6 +102,15 @@ std::string AsciiReport() {
                        2);
   }
   os << "\n";
+  os << "Memory: live " << FormatDouble(LiveBytes() / (1024.0 * 1024.0), 2)
+     << " MiB, peak " << FormatDouble(PeakBytes() / (1024.0 * 1024.0), 2)
+     << " MiB tracked (" << AllocCount() << " allocs), rss "
+     << FormatDouble(CurrentRssBytes() / (1024.0 * 1024.0), 2)
+     << " MiB (peak " << FormatDouble(PeakRssBytes() / (1024.0 * 1024.0), 2)
+     << " MiB)\n";
+  if (PerfCountersProbeFailed()) {
+    os << "Perf counters: unavailable (perf_event_open denied)\n";
+  }
   const int64_t dropped = TraceDroppedTotal();
   if (dropped > 0) {
     os << "Trace: " << dropped << " events dropped (ring overflow)\n";
@@ -113,6 +124,8 @@ void ResetAll() {
   HealthTracker::Get().Reset();
   ResetTrace();
   ResetParallelStats();
+  ResetMemoryStats();
+  ResetPerfRegions();
 }
 
 }  // namespace graphaug::obs

@@ -23,14 +23,17 @@
 #include "obs/autograd_profiler.h"
 #include "obs/config.h"
 #include "obs/health.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 
 namespace graphaug::obs {
 
 /// Combined JSON document:
 ///   {"metrics": {...}, "autograd_ops": {...}, "epochs": [...],
-///    "parallel": {...}}
+///    "parallel": {...}, "memory": {...}, "perf": {...}}
 /// Refreshes the parallel-utilization gauges before serializing.
 std::string MetricsJson();
 

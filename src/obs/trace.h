@@ -38,20 +38,41 @@ void SetTraceEnabled(bool enabled);
 /// TraceSpan; callable directly for spans whose bounds are not lexical.
 void RecordTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns);
 
+#if GRAPHAUG_OBS_ENABLED
+/// Name of the innermost live TraceSpan on this thread, or nullptr. Used
+/// by the memory tracker to attribute allocations to the enclosing span.
+/// Published whenever the master switch or tracing is on.
+const char* CurrentTraceSpanName();
+/// Installs `name` as the thread's current span, returning the previous
+/// one (TraceSpan internals).
+const char* ExchangeCurrentTraceSpanName(const char* name);
+#else
+inline constexpr const char* CurrentTraceSpanName() { return nullptr; }
+inline const char* ExchangeCurrentTraceSpanName(const char*) {
+  return nullptr;
+}
+#endif
+
 /// RAII scoped span: records [construction, destruction) under `name`
-/// when tracing is enabled. Prefer the GA_TRACE_SPAN macro, which also
-/// compiles away under GRAPHAUG_NO_OBS.
+/// when tracing is enabled, and publishes `name` for allocation
+/// attribution whenever instrumentation is on. Prefer the GA_TRACE_SPAN
+/// macro, which also compiles away under GRAPHAUG_NO_OBS.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (TraceEnabled()) {
+    if (TraceEnabled() || Enabled()) {
       name_ = name;
-      start_ns_ = TraceClockNs();
+      prev_name_ = ExchangeCurrentTraceSpanName(name);
+      record_ = TraceEnabled();
+      if (record_) start_ns_ = TraceClockNs();
     }
   }
   ~TraceSpan() {
     if (name_ != nullptr) {
-      RecordTraceEvent(name_, start_ns_, TraceClockNs() - start_ns_);
+      ExchangeCurrentTraceSpanName(prev_name_);
+      if (record_) {
+        RecordTraceEvent(name_, start_ns_, TraceClockNs() - start_ns_);
+      }
     }
   }
 
@@ -60,6 +81,8 @@ class TraceSpan {
 
  private:
   const char* name_ = nullptr;
+  const char* prev_name_ = nullptr;
+  bool record_ = false;
   int64_t start_ns_ = 0;
 };
 

@@ -6,12 +6,18 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/memory.h"
 
 namespace graphaug {
 
 /// Dense row-major float matrix. This is the single tensor type used by the
 /// whole library: vectors are (n x 1) or (1 x n) matrices, scalars are
 /// (1 x 1). Copyable and movable; copies are deep.
+///
+/// Storage is an obs::TrackedFloatVec, so every tensor buffer feeds the
+/// byte-level memory accounting (obs/memory.h) — a few relaxed atomic ops
+/// per allocation, zero in GRAPHAUG_NO_OBS builds where the allocator
+/// degenerates to std::allocator.
 class Matrix {
  public:
   /// Empty 0x0 matrix.
@@ -30,9 +36,9 @@ class Matrix {
         data_(static_cast<size_t>(rows * cols), fill) {}
 
   /// Builds from explicit data (row-major); data.size() must equal
-  /// rows * cols.
-  Matrix(int64_t rows, int64_t cols, std::vector<float> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+  /// rows * cols. The data is copied into tracked storage.
+  Matrix(int64_t rows, int64_t cols, const std::vector<float>& data)
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
     GA_CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
   }
 
@@ -86,7 +92,7 @@ class Matrix {
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
-  std::vector<float> data_;
+  obs::TrackedFloatVec data_;
 };
 
 }  // namespace graphaug

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
@@ -39,6 +41,29 @@ class ObsTest : public ::testing::Test {
 };
 
 // ------------------------------------------------------------- metrics
+
+TEST_F(ObsTest, HistogramQuantilesInterpolateWithinBuckets) {
+  obs::Histogram* h = obs::MetricsRegistry::Get().GetHistogram(
+      "test.quant", {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);  // empty: no estimate
+  // 10 observations in bucket 0 (edges 0..10): the median rank (5 of 10)
+  // interpolates to the bucket midpoint.
+  for (int i = 0; i < 10; ++i) h->Observe(5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 10.0);
+  // Add 10 in bucket 1 (10..20): p50 lands on the shared edge, p75 at
+  // the midpoint of bucket 1, p95 at rank 19 of 20 -> 10 + 10 * 9/10.
+  for (int i = 0; i < 10; ++i) h->Observe(15.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.95), 19.0);
+  // Overflow observations clamp to the largest bound.
+  for (int i = 0; i < 100; ++i) h->Observe(1000.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 40.0);
+  // Out-of-range q is clamped, not UB.
+  EXPECT_DOUBLE_EQ(h->Quantile(-1.0), h->Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h->Quantile(2.0), h->Quantile(1.0));
+}
 
 TEST_F(ObsTest, HistogramBucketEdges) {
   obs::Histogram* h = obs::MetricsRegistry::Get().GetHistogram(
@@ -217,6 +242,163 @@ TEST_F(ObsTest, NonFiniteCountScansCorrectly) {
   EXPECT_EQ(obs::NonFiniteCount(v.data(), 0), 0);
 }
 
+// ------------------------------------------------------ memory accounting
+
+TEST_F(ObsTest, LiveBytesReturnToBaselineWhenTensorsDie) {
+#if !GRAPHAUG_OBS_ENABLED
+  GTEST_SKIP() << "built with GRAPHAUG_NO_OBS";
+#endif
+  const int64_t baseline_live = obs::LiveBytes();
+  const int64_t baseline_allocs = obs::AllocCount();
+  obs::ResetPeakBytes();
+  {
+    Matrix a(128, 64), b(64, 32);
+    EXPECT_GE(obs::LiveBytes(),
+              baseline_live +
+                  static_cast<int64_t>(sizeof(float)) * (128 * 64 + 64 * 32));
+    EXPECT_GE(obs::PeakBytes(), obs::LiveBytes());
+  }
+  // Scope closed: every buffer died, live is back to the baseline but the
+  // high-water mark and monotonic counters remember the excursion.
+  EXPECT_EQ(obs::LiveBytes(), baseline_live);
+  EXPECT_GE(obs::PeakBytes(),
+            baseline_live +
+                static_cast<int64_t>(sizeof(float)) * (128 * 64 + 64 * 32));
+  EXPECT_GE(obs::AllocCount(), baseline_allocs + 2);
+  EXPECT_GE(obs::FreeCount(), 2);
+}
+
+TEST_F(ObsTest, PeakBytesTracksAllocationsAcrossPoolThreads) {
+#if !GRAPHAUG_OBS_ENABLED
+  GTEST_SKIP() << "built with GRAPHAUG_NO_OBS";
+#endif
+  const int prev_threads = NumThreads();
+  SetNumThreads(4);
+  const int64_t baseline_live = obs::LiveBytes();
+  obs::ResetPeakBytes();
+  constexpr int64_t kTasks = 64;
+  constexpr int64_t kRows = 256, kCols = 16;
+  ParallelFor(0, kTasks, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      Matrix m(kRows, kCols, 1.0f);
+      // Touch the buffer so the allocation cannot be elided.
+      ASSERT_EQ(m.data()[0], 1.0f);
+    }
+  });
+  // Worker-thread allocations went through the same global accounting: at
+  // least one matrix was live at some point past the baseline, and all of
+  // them died by the barrier.
+  EXPECT_GE(obs::PeakBytes(),
+            baseline_live +
+                static_cast<int64_t>(sizeof(float)) * kRows * kCols);
+  EXPECT_EQ(obs::LiveBytes(), baseline_live);
+  SetNumThreads(prev_threads);
+}
+
+TEST_F(ObsTest, AllocationsAttributeToEnclosingOpTag) {
+#if !GRAPHAUG_OBS_ENABLED
+  GTEST_SKIP() << "built with GRAPHAUG_NO_OBS";
+#endif
+  obs::SetEnabled(true);
+  {
+    obs::ScopedOp op("TestAllocOp");
+    Matrix m(32, 32);
+    ASSERT_NE(m.data(), nullptr);
+  }
+  const auto tags = obs::MemoryTagSnapshot();
+  ASSERT_TRUE(tags.count("TestAllocOp"));
+  EXPECT_GE(tags.at("TestAllocOp").bytes,
+            static_cast<int64_t>(sizeof(float)) * 32 * 32);
+  EXPECT_GE(tags.at("TestAllocOp").count, 1);
+
+  std::string err;
+  EXPECT_TRUE(obs::JsonLint(obs::MemoryJson(), &err)) << err;
+}
+
+// --------------------------------------------------------- perf counters
+
+TEST_F(ObsTest, PerfCountersDegradeGracefully) {
+  // Contract under any kernel/container configuration: Begin() either
+  // succeeds (then End() yields plausible counts and the subsystem
+  // reports available) or fails (then counts stay invalid and every
+  // later Begin() fails cheaply). Both branches are correct.
+  obs::PerfCounterGroup group;
+  if (group.Begin()) {
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i) * 1.5;
+    const obs::PerfCounts counts = group.End();
+    ASSERT_TRUE(counts.valid);
+    EXPECT_TRUE(obs::PerfCountersAvailable());
+    EXPECT_GT(counts.instructions, 0);
+    EXPECT_GT(counts.cycles, 0);
+    EXPECT_GT(counts.Ipc(), 0.0);
+    EXPECT_GE(counts.CacheMissRate(), 0.0);
+    EXPECT_LE(counts.CacheMissRate(), 1.0);
+  } else {
+    EXPECT_FALSE(obs::PerfCountersAvailable());
+    EXPECT_FALSE(group.End().valid);
+    obs::PerfCounterGroup again;
+    EXPECT_FALSE(again.Begin());
+  }
+  std::string err;
+  EXPECT_TRUE(obs::JsonLint(obs::PerfJson(), &err)) << err;
+}
+
+// ----------------------------------------------------------- run reports
+
+TEST_F(ObsTest, RunReportWriterEmitsValidJsonl) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_test_report.jsonl";
+  obs::RunReportWriter writer;
+  ASSERT_TRUE(writer.Open(path));
+  obs::ReportEpoch e;
+  e.epoch = 1;
+  e.loss = 0.75;
+  e.loss_components["bpr"] = 0.5;
+  e.loss_components["gib_kl"] = 0.25;
+  e.grad_norm = 1.5;
+  e.evaluated = true;
+  e.recall20 = 0.12;
+  e.live_bytes = 1024;
+  ASSERT_TRUE(writer.WriteEpoch(e));
+  obs::ReportFooter f;
+  f.env["git_sha"] = "abc123";
+  f.config["model"] = "GraphAug";
+  f.metrics["recall@20"] = 0.12;
+  f.counters["train.batches"] = 6;
+  f.best_epoch = 1;
+  ASSERT_TRUE(writer.WriteFooter(f));
+  ASSERT_TRUE(writer.Close());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  std::string err;
+  for (const std::string& l : lines) {
+    EXPECT_TRUE(obs::JsonLint(l, &err)) << l << ": " << err;
+  }
+  EXPECT_NE(lines[0].find("\"type\":\"epoch\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"gib_kl\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"recall20\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"footer\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"train.batches\""), std::string::npos);
+  std::remove(path.c_str());
+
+  // Unevaluated epochs omit the eval fields entirely (absent, not zero).
+  obs::ReportEpoch skip;
+  skip.epoch = 2;
+  EXPECT_EQ(obs::ReportEpochJson(skip).find("recall20"), std::string::npos);
+
+  // An unwritable path fails Open without crashing.
+  obs::RunReportWriter bad;
+  EXPECT_FALSE(bad.Open("/no/such/dir/report.jsonl"));
+  EXPECT_FALSE(bad.is_open());
+}
+
 // -------------------------------------------------------- JSON helpers
 
 TEST_F(ObsTest, JsonLintAcceptsValidDocuments) {
@@ -253,9 +435,13 @@ TEST_F(ObsTest, CombinedMetricsJsonIsWellFormed) {
   EXPECT_TRUE(obs::JsonLint(json, &err)) << err;
   for (const char* key :
        {"\"metrics\"", "\"autograd_ops\"", "\"epochs\"", "\"parallel\"",
-        "\"test.count\"", "\"test.gauge\"", "\"test.hist\""}) {
+        "\"memory\"", "\"perf\"", "\"test.count\"", "\"test.gauge\"",
+        "\"test.hist\"", "\"p50\"", "\"p95\"", "\"p99\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+  const auto counters = obs::MetricsRegistry::Get().CounterSnapshot();
+  ASSERT_TRUE(counters.count("test.count"));
+  EXPECT_EQ(counters.at("test.count"), 3);
   // Non-finite doubles must serialize as null, not as bare NaN tokens.
   obs::MetricsRegistry::Get().GetGauge("test.badval")->Set(
       std::numeric_limits<double>::quiet_NaN());
@@ -301,6 +487,10 @@ GraphAugConfig ObsTinyConfig() {
 std::vector<Matrix> TrainTinyGraphAug(bool instrumented) {
   obs::SetEnabled(instrumented);
   obs::SetTraceEnabled(instrumented);
+  // The instrumented run also carries the full passive tooling — memory
+  // accounting is always on, and the RSS sampler polls in the
+  // background — so the bitwise comparison below covers it all.
+  if (instrumented) obs::RssSampler::Get().Start(/*period_ms=*/5);
   SyntheticData data = GeneratePreset("tiny");
   GraphAug model(&data.dataset, ObsTinyConfig());
   for (int e = 0; e < 2; ++e) model.TrainEpoch();
@@ -308,6 +498,7 @@ std::vector<Matrix> TrainTinyGraphAug(bool instrumented) {
   for (const Parameter* p : model.params()->params()) {
     values.push_back(p->value);
   }
+  if (instrumented) obs::RssSampler::Get().Stop();
   obs::SetEnabled(false);
   obs::SetTraceEnabled(false);
   return values;
@@ -332,6 +523,9 @@ TEST_F(ObsTest, InstrumentationDoesNotChangeTrainingBitwise) {
   // evidence is the profiler and trace buffers, not the epoch history.
   EXPECT_FALSE(obs::AutogradProfiler::Get().Snapshot().empty());
   EXPECT_GT(obs::TraceEventTotal(), 0);
+  // ... and so did the passive layers added alongside them.
+  EXPECT_GT(obs::AllocCount(), 0);
+  EXPECT_GE(obs::RssSampler::Get().SampleCount(), 1);
 #endif
 }
 

@@ -22,9 +22,7 @@
 // Exit codes: 0 ok, 1 regression (or determinism violation), 2 usage /
 // parse error.
 
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -32,184 +30,13 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/json.h"
 
 namespace graphaug {
 namespace {
 
-// ------------------------------------------------------ minimal JSON value
-// Self-contained parser for the subset of JSON the bench writer emits:
-// objects, arrays, strings (no escapes beyond \" \\ \/ \n \t), numbers,
-// booleans, null. Tools-only code — the training binaries never parse JSON.
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> fields;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool Parse(JsonValue* out, std::string* error) {
-    const bool ok = ParseValue(out) && (SkipWs(), pos_ == s_.size());
-    if (!ok && error != nullptr) {
-      std::ostringstream oss;
-      oss << "JSON parse error near offset " << pos_;
-      *error = oss.str();
-    }
-    return ok;
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Literal(const char* lit) {
-    const size_t n = std::strlen(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    out->clear();
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\' && pos_ < s_.size()) {
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          default: return false;  // \uXXXX etc. never emitted by the bench
-        }
-      }
-      out->push_back(c);
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (pos_ >= s_.size()) return false;
-    const char c = s_[pos_];
-    if (c == '{') return ParseObject(out);
-    if (c == '[') return ParseArray(out);
-    if (c == '"') {
-      out->type = JsonValue::Type::kString;
-      return ParseString(&out->str);
-    }
-    if (Literal("true")) {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = true;
-      return true;
-    }
-    if (Literal("false")) {
-      out->type = JsonValue::Type::kBool;
-      out->boolean = false;
-      return true;
-    }
-    if (Literal("null")) {
-      out->type = JsonValue::Type::kNull;
-      return true;
-    }
-    // Number.
-    const size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->type = JsonValue::Type::kNumber;
-    out->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
-    return true;
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->type = JsonValue::Type::kObject;
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      SkipWs();
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipWs();
-      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
-      ++pos_;
-      JsonValue v;
-      if (!ParseValue(&v)) return false;
-      out->fields.emplace_back(std::move(key), std::move(v));
-      SkipWs();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->type = JsonValue::Type::kArray;
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      JsonValue v;
-      if (!ParseValue(&v)) return false;
-      out->items.push_back(std::move(v));
-      SkipWs();
-      if (pos_ >= s_.size()) return false;
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
+using json::JsonValue;
+using json::ParseJson;
 
 // --------------------------------------------------------------- the gate
 
@@ -317,8 +144,7 @@ bool LoadRuns(const std::string& path, RunTable* out) {
   const std::string text = ss.str();
   JsonValue root;
   std::string error;
-  JsonParser parser(text);
-  if (!parser.Parse(&root, &error)) {
+  if (!ParseJson(text, &root, &error)) {
     std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
                  error.c_str());
     return false;
@@ -369,8 +195,7 @@ int SelfTest() {
   auto parse = [](const std::string& text, RunTable* out) {
     JsonValue root;
     std::string error;
-    JsonParser parser(text);
-    if (!parser.Parse(&root, &error)) return false;
+    if (!ParseJson(text, &root, &error)) return false;
     return ExtractRuns(root, out, &error);
   };
   RunTable base, cur, racy;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "autograd/serialize.h"
+#include "common/env.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -66,7 +67,11 @@ int Usage() {
       "  --trace-out=F    record scoped trace spans and write Chrome\n"
       "                   trace-event JSON (chrome://tracing / Perfetto)\n"
       "  --obs-report     print the instrumentation report to stdout\n"
-      "                   (enables profiling like --metrics-out)\n");
+      "                   (enables profiling like --metrics-out)\n"
+      "  --report-out=F   (train) append one JSONL record per epoch (loss\n"
+      "                   breakdown, grad/param norms, timing, memory) plus\n"
+      "                   a footer (env, config, final metrics); diff two\n"
+      "                   runs with tools/report_compare\n");
   return 2;
 }
 
@@ -188,7 +193,50 @@ int CmdTrain(const FlagParser& flags) {
       flags.GetInt("eval-every", std::max(1, options.epochs / 4)));
   options.patience = static_cast<int>(flags.GetInt("patience", 0));
   options.verbose = flags.GetBool("verbose", true);
+  obs::RunReportWriter report;
+  const std::string report_out = flags.GetString("report-out", "");
+  if (!report_out.empty()) {
+    if (!report.Open(report_out)) {
+      std::fprintf(stderr, "train: cannot write report %s\n",
+                   report_out.c_str());
+      return 1;
+    }
+    options.report = &report;
+  }
   TrainResult result = TrainAndEvaluate(model.get(), evaluator, options);
+  if (report.is_open()) {
+    obs::ReportFooter footer;
+    const RuntimeEnv env = ProbeRuntimeEnv();
+    footer.env["git_sha"] = env.git_sha;
+    footer.env["timestamp_utc"] = env.timestamp_utc;
+    footer.env["hardware_concurrency"] =
+        std::to_string(env.hardware_concurrency);
+    footer.env["threads"] = std::to_string(NumThreads());
+    footer.config["model"] = model_name;
+    footer.config["dataset"] = dataset.name;
+    footer.config["epochs"] = std::to_string(options.epochs);
+    footer.config["dim"] = std::to_string(flags.GetInt("dim", 32));
+    footer.config["layers"] = std::to_string(flags.GetInt("layers", 2));
+    footer.config["lr"] = FormatDouble(flags.GetDouble("lr", 5e-3), 6);
+    if (model_name == "GraphAug") footer.config["augmentor"] = augmentor;
+    footer.metrics["recall@20"] = result.final_metrics.RecallAt(20);
+    footer.metrics["recall@40"] = result.final_metrics.RecallAt(40);
+    footer.metrics["ndcg@20"] = result.final_metrics.NdcgAt(20);
+    footer.metrics["ndcg@40"] = result.final_metrics.NdcgAt(40);
+    footer.best_epoch = result.best_epoch;
+    footer.train_seconds = result.train_seconds;
+    footer.peak_bytes = obs::PeakBytes();
+    footer.rss_peak_bytes = std::max(
+        obs::PeakRssBytes(), obs::RssSampler::Get().SampledPeakBytes());
+    footer.counters = obs::MetricsRegistry::Get().CounterSnapshot();
+    report.WriteFooter(footer);
+    if (!report.Close()) {
+      std::fprintf(stderr, "train: cannot write report %s\n",
+                   report_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "report written to %s\n", report_out.c_str());
+  }
   std::printf("%s on %s: Recall@20=%.4f Recall@40=%.4f NDCG@20=%.4f "
               "NDCG@40=%.4f (best epoch %d, %.1fs)\n",
               model_name.c_str(), dataset.name.c_str(),
@@ -318,15 +366,33 @@ int Main(int argc, char** argv) {
     }
     SetLogLevel(level);
   }
-  // Observability: any of the three flags turns the master switch on;
+  // Observability: any of the output flags turns the master switch on;
   // tracing additionally records scoped spans into the ring buffers.
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string report_out = flags.GetString("report-out", "");
   const bool obs_report = flags.GetBool("obs-report", false);
-  if (!metrics_out.empty() || !trace_out.empty() || obs_report) {
-    obs::SetEnabled(true);
-  }
+  const bool obs_on =
+      !metrics_out.empty() || !trace_out.empty() || !report_out.empty() ||
+      obs_report;
+  if (obs_on) obs::SetEnabled(true);
   if (!trace_out.empty()) obs::SetTraceEnabled(true);
+  // Fail loudly before any work if an output path is unwritable: probing
+  // with "a" creates the file without clobbering an existing one, so a
+  // typo'd directory is caught in milliseconds, not after training.
+  for (const std::string& path : {metrics_out, trace_out, report_out}) {
+    if (path.empty()) continue;
+    FILE* probe = std::fopen(path.c_str(), "a");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "warning: output path %s is not writable\n",
+                   path.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+  }
+  // Poll RSS in the background while instrumented so transient spikes
+  // between epoch boundaries still show up in reports.
+  if (obs_on) obs::RssSampler::Get().Start();
   const std::string& cmd = flags.positional()[0];
   int rc;
   if (cmd == "generate") {
@@ -342,6 +408,7 @@ int Main(int argc, char** argv) {
   } else {
     return Usage();
   }
+  obs::RssSampler::Get().Stop();
   if (!trace_out.empty()) {
     if (obs::WriteChromeTrace(trace_out)) {
       std::fprintf(stderr, "trace written to %s (%lld events)\n",

@@ -1,32 +1,80 @@
 // Validates that each argument file parses as one JSON value, using the
 // same minimal linter the obs layer tests itself with (obs::JsonLint).
-// Exit 0 when every file is valid; 1 on the first syntax error or
-// unreadable file. Used by tools/run_obs_smoke.sh to check the
-// --metrics-out / --trace-out artifacts without any external parser.
+// With --jsonl, each non-empty line of the file must instead be one valid
+// JSON value (the run-report format). Exit 0 when every file is valid; 1
+// on the first syntax error or unreadable file. Used by
+// tools/run_obs_smoke.sh to check the --metrics-out / --trace-out /
+// --report-out artifacts without any external parser.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "obs/metrics.h"
 
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool CheckJsonl(const char* path, const std::string& text) {
+  size_t pos = 0;
+  int line_no = 0;
+  int records = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    ++line_no;
+    pos = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string error;
+    if (!graphaug::obs::JsonLint(line, &error)) {
+      std::fprintf(stderr, "%s:%d: %s\n", path, line_no, error.c_str());
+      return false;
+    }
+    ++records;
+  }
+  if (records == 0) {
+    std::fprintf(stderr, "%s: no JSONL records\n", path);
+    return false;
+  }
+  std::fprintf(stderr, "%s: ok (%d records)\n", path, records);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: json_check FILE...\n");
+  bool jsonl = false;
+  int first_file = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--jsonl") == 0) {
+    jsonl = true;
+    first_file = 2;
+  }
+  if (first_file >= argc) {
+    std::fprintf(stderr, "usage: json_check [--jsonl] FILE...\n");
     return 2;
   }
-  for (int i = 1; i < argc; ++i) {
-    FILE* f = std::fopen(argv[i], "rb");
-    if (f == nullptr) {
+  for (int i = first_file; i < argc; ++i) {
+    std::string text;
+    if (!ReadFile(argv[i], &text)) {
       std::fprintf(stderr, "%s: cannot open\n", argv[i]);
       return 1;
     }
-    std::string text;
-    char buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-      text.append(buf, n);
+    if (jsonl) {
+      if (!CheckJsonl(argv[i], text)) return 1;
+      continue;
     }
-    std::fclose(f);
     std::string error;
     if (!graphaug::obs::JsonLint(text, &error)) {
       std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());

@@ -1,0 +1,266 @@
+// Diffs two JSONL run reports written via --report-out: prints a
+// per-epoch table (loss delta, recall delta, time and peak-memory
+// ratios), flags config/env keys that differ, and compares the footers'
+// final metrics. With --max-metric-drop=F the tool fails (exit 1) when
+// any final metric in the current run is more than F (relative) below
+// the baseline — the run-level analogue of the bench_compare gate.
+//
+// Usage:
+//   report_compare --baseline=a.jsonl --current=b.jsonl
+//                  [--max-metric-drop=0.05]
+//   report_compare --selftest
+//
+// Exit codes: 0 ok, 1 metric regression, 2 usage / parse error.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/json.h"
+
+namespace graphaug {
+namespace {
+
+using json::JsonValue;
+using json::ParseJson;
+
+/// One parsed run: epoch records keyed by epoch number, plus the footer.
+struct Run {
+  std::map<int, JsonValue> epochs;
+  JsonValue footer;
+  bool has_footer = false;
+};
+
+bool ParseRun(const std::string& text, Run* out, std::string* error) {
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    ++line_no;
+    pos = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    JsonValue v;
+    if (!ParseJson(line, &v, error)) {
+      *error = "line " + std::to_string(line_no) + ": " + *error;
+      return false;
+    }
+    const std::string type = v.StringOr("type", "");
+    if (type == "epoch") {
+      out->epochs[static_cast<int>(v.NumberOr("epoch", 0))] = std::move(v);
+    } else if (type == "footer") {
+      out->footer = std::move(v);
+      out->has_footer = true;
+    } else {
+      *error = "line " + std::to_string(line_no) +
+               ": record has no \"type\": \"epoch\"|\"footer\"";
+      return false;
+    }
+  }
+  if (out->epochs.empty()) {
+    *error = "no epoch records";
+    return false;
+  }
+  return true;
+}
+
+bool LoadRun(const std::string& path, Run* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "report_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string error;
+  if (!ParseRun(ss.str(), out, &error)) {
+    std::fprintf(stderr, "report_compare: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Prints differing keys of one string-valued footer section ("config" /
+/// "env"); identical sections print nothing.
+void DiffStringSection(const Run& base, const Run& cur, const char* section) {
+  if (!base.has_footer || !cur.has_footer) return;
+  const JsonValue* a = base.footer.Find(section);
+  const JsonValue* b = cur.footer.Find(section);
+  if (a == nullptr || b == nullptr) return;
+  for (const auto& [key, av] : a->fields) {
+    const std::string bv = b->StringOr(key, "(absent)");
+    if (av.str != bv) {
+      std::printf("DIFF  %s.%s: baseline=%s current=%s\n", section,
+                  key.c_str(), av.str.c_str(), bv.c_str());
+    }
+  }
+  for (const auto& [key, bv] : b->fields) {
+    if (a->Find(key) == nullptr) {
+      std::printf("DIFF  %s.%s: baseline=(absent) current=%s\n", section,
+                  key.c_str(), bv.str.c_str());
+    }
+  }
+}
+
+double Ratio(double cur, double base) { return base != 0 ? cur / base : 0; }
+
+/// Returns the number of final-metric regressions beyond `max_drop`
+/// (0 disables the gate; diffs are still printed).
+int Compare(const Run& base, const Run& cur, double max_drop) {
+  DiffStringSection(base, cur, "config");
+  DiffStringSection(base, cur, "env");
+
+  std::printf("epoch  d_loss     d_recall20  time_ratio  peakmem_ratio\n");
+  for (const auto& [epoch, a] : base.epochs) {
+    const auto it = cur.epochs.find(epoch);
+    if (it == cur.epochs.end()) {
+      std::printf("%5d  (not in current run)\n", epoch);
+      continue;
+    }
+    const JsonValue& b = it->second;
+    const double d_loss = b.NumberOr("loss", 0) - a.NumberOr("loss", 0);
+    char recall[32] = "-";
+    if (a.Find("recall20") != nullptr && b.Find("recall20") != nullptr) {
+      std::snprintf(recall, sizeof(recall), "%+.4f",
+                    b.NumberOr("recall20", 0) - a.NumberOr("recall20", 0));
+    }
+    std::printf("%5d  %+.4g  %10s  %10.2f  %13.2f\n", epoch, d_loss, recall,
+                Ratio(b.NumberOr("epoch_seconds", 0),
+                      a.NumberOr("epoch_seconds", 0)),
+                Ratio(b.NumberOr("peak_bytes", 0),
+                      a.NumberOr("peak_bytes", 0)));
+  }
+  for (const auto& [epoch, b] : cur.epochs) {
+    if (base.epochs.find(epoch) == base.epochs.end()) {
+      std::printf("%5d  (not in baseline run)\n", epoch);
+    }
+  }
+
+  int failures = 0;
+  if (base.has_footer && cur.has_footer) {
+    const JsonValue* am = base.footer.Find("metrics");
+    const JsonValue* bm = cur.footer.Find("metrics");
+    if (am != nullptr && bm != nullptr) {
+      for (const auto& [name, av] : am->fields) {
+        const JsonValue* bv = bm->Find(name);
+        if (bv == nullptr) continue;
+        const double drop =
+            av.number != 0 ? (av.number - bv->number) / av.number : 0;
+        const bool bad = max_drop > 0 && drop > max_drop;
+        std::printf("%s  %-12s baseline=%.4f current=%.4f (%+.1f%%)\n",
+                    bad ? "FAIL" : "OK  ", name.c_str(), av.number,
+                    bv->number, -100.0 * drop);
+        if (bad) ++failures;
+      }
+    }
+    std::printf("train_seconds ratio %.2f, peak_bytes ratio %.2f, "
+                "rss_peak ratio %.2f\n",
+                Ratio(cur.footer.NumberOr("train_seconds", 0),
+                      base.footer.NumberOr("train_seconds", 0)),
+                Ratio(cur.footer.NumberOr("peak_bytes", 0),
+                      base.footer.NumberOr("peak_bytes", 0)),
+                Ratio(cur.footer.NumberOr("rss_peak_bytes", 0),
+                      base.footer.NumberOr("rss_peak_bytes", 0)));
+  } else {
+    std::printf("footer missing in %s run — metric gate skipped\n",
+                base.has_footer ? "current" : "baseline");
+  }
+  return failures;
+}
+
+// --------------------------------------------------------------- selftest
+
+int SelfTest() {
+  const std::string base_text =
+      "{\"type\":\"epoch\",\"epoch\":1,\"loss\":0.9,\"epoch_seconds\":1.0,"
+      "\"peak_bytes\":1000}\n"
+      "{\"type\":\"epoch\",\"epoch\":2,\"loss\":0.5,\"recall20\":0.10,"
+      "\"epoch_seconds\":1.0,\"peak_bytes\":1000}\n"
+      "{\"type\":\"footer\",\"config\":{\"model\":\"GraphAug\",\"dim\":\"32\"},"
+      "\"env\":{\"git_sha\":\"aaa\"},"
+      "\"metrics\":{\"recall@20\":0.10,\"ndcg@20\":0.05},"
+      "\"train_seconds\":2.0,\"peak_bytes\":1000,\"rss_peak_bytes\":5000}\n";
+  // Same shape, recall@20 drops 0.10 -> 0.08 (-20%): fails a 10% gate,
+  // passes a 30% one; config dim differs.
+  const std::string cur_text =
+      "{\"type\":\"epoch\",\"epoch\":1,\"loss\":0.8,\"epoch_seconds\":2.0,"
+      "\"peak_bytes\":2000}\n"
+      "{\"type\":\"epoch\",\"epoch\":2,\"loss\":0.4,\"recall20\":0.08,"
+      "\"epoch_seconds\":2.0,\"peak_bytes\":2000}\n"
+      "{\"type\":\"epoch\",\"epoch\":3,\"loss\":0.3,\"epoch_seconds\":2.0,"
+      "\"peak_bytes\":2000}\n"
+      "{\"type\":\"footer\",\"config\":{\"model\":\"GraphAug\",\"dim\":\"64\"},"
+      "\"env\":{\"git_sha\":\"bbb\"},"
+      "\"metrics\":{\"recall@20\":0.08,\"ndcg@20\":0.05},"
+      "\"train_seconds\":6.0,\"peak_bytes\":2000,\"rss_peak_bytes\":5000}\n";
+  Run base, cur;
+  std::string error;
+  if (!ParseRun(base_text, &base, &error) ||
+      !ParseRun(cur_text, &cur, &error)) {
+    std::fprintf(stderr, "selftest: parse failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (base.epochs.size() != 2 || cur.epochs.size() != 3 ||
+      !base.has_footer || !cur.has_footer) {
+    std::fprintf(stderr, "selftest: wrong record counts\n");
+    return 1;
+  }
+  if (Compare(base, cur, 0.10) != 1) {
+    std::fprintf(stderr, "selftest: 20%% recall drop must fail a 10%% gate\n");
+    return 1;
+  }
+  if (Compare(base, cur, 0.30) != 0) {
+    std::fprintf(stderr, "selftest: 20%% recall drop must pass a 30%% gate\n");
+    return 1;
+  }
+  if (Compare(base, cur, 0) != 0) {
+    std::fprintf(stderr, "selftest: gate must be off by default\n");
+    return 1;
+  }
+  // A truncated/invalid line must be a parse error, not a silent skip.
+  Run bad;
+  if (ParseRun("{\"type\":\"epoch\",\"epoch\":1", &bad, &error)) {
+    std::fprintf(stderr, "selftest: truncated record must fail\n");
+    return 1;
+  }
+  std::printf("report_compare selftest: ok\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("selftest", false)) return SelfTest();
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string current_path = flags.GetString("current", "");
+  const double max_drop = flags.GetDouble("max-metric-drop", 0.0);
+  if (baseline_path.empty() || current_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: report_compare --baseline=FILE --current=FILE "
+                 "[--max-metric-drop=0.05] | --selftest\n");
+    return 2;
+  }
+  Run baseline, current;
+  if (!LoadRun(baseline_path, &baseline) || !LoadRun(current_path, &current)) {
+    return 2;
+  }
+  const int failures = Compare(baseline, current, max_drop);
+  if (failures > 0) {
+    std::printf("report_compare: %d metric(s) dropped beyond %.0f%%\n",
+                failures, 100.0 * max_drop);
+    return 1;
+  }
+  std::printf("report_compare: runs comparable\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace graphaug
+
+int main(int argc, char** argv) { return graphaug::Main(argc, argv); }

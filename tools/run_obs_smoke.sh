@@ -1,33 +1,40 @@
 #!/usr/bin/env bash
 # Observability smoke test: trains GraphAug for two epochs on the tiny
-# synthetic preset with metrics + trace export enabled, then checks that
-# both artifacts exist, lint as JSON (via the json_check tool, which uses
-# the same obs::JsonLint the unit tests exercise), and contain the
-# sections the instrumentation layer promises. Registered as a ctest
-# (run_obs_smoke) from tools/CMakeLists.txt.
+# synthetic preset with metrics + trace + run-report export enabled, then
+# checks that the artifacts exist, lint as JSON / JSONL (via the
+# json_check tool, which uses the same obs::JsonLint the unit tests
+# exercise), contain the sections the instrumentation layer promises, and
+# that the run report self-diffs cleanly through report_compare.
+# Registered as a ctest (run_obs_smoke) from tools/CMakeLists.txt.
 #
-# Usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN
+# Usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN REPORT_COMPARE_BIN
 set -euo pipefail
 
-CLI=${1:?usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN}
-CHECK=${2:?usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN}
+USAGE="usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN REPORT_COMPARE_BIN"
+CLI=${1:?$USAGE}
+CHECK=${2:?$USAGE}
+RCOMPARE=${3:?$USAGE}
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 
 METRICS="$WORK/metrics.json"
 TRACE="$WORK/trace.json"
+REPORT="$WORK/report.jsonl"
 
 "$CLI" train --preset=tiny --model=GraphAug --epochs=2 --eval-every=2 \
-  --metrics-out="$METRICS" --trace-out="$TRACE" --obs-report \
-  --log-level=warn
+  --metrics-out="$METRICS" --trace-out="$TRACE" --report-out="$REPORT" \
+  --obs-report --log-level=warn
 
 [ -s "$METRICS" ] || { echo "FAIL: $METRICS missing or empty" >&2; exit 1; }
 [ -s "$TRACE" ]   || { echo "FAIL: $TRACE missing or empty" >&2; exit 1; }
+[ -s "$REPORT" ]  || { echo "FAIL: $REPORT missing or empty" >&2; exit 1; }
 
 "$CHECK" "$METRICS" "$TRACE"
+"$CHECK" --jsonl "$REPORT"
 
-for key in '"metrics"' '"autograd_ops"' '"epochs"' '"parallel"'; do
+for key in '"metrics"' '"autograd_ops"' '"epochs"' '"parallel"' \
+           '"memory"' '"perf"' '"live_bytes"' '"p95"'; do
   grep -q "$key" "$METRICS" || {
     echo "FAIL: $key not found in metrics JSON" >&2; exit 1; }
 done
@@ -35,5 +42,25 @@ for key in '"traceEvents"' '"spmm"' '"backward"'; do
   grep -q "$key" "$TRACE" || {
     echo "FAIL: $key not found in trace JSON" >&2; exit 1; }
 done
+grep -q '"type":"epoch"' "$REPORT" || {
+  echo "FAIL: no epoch record in run report" >&2; exit 1; }
+grep -q '"type":"footer"' "$REPORT" || {
+  echo "FAIL: no footer record in run report" >&2; exit 1; }
+grep -q '"git_sha"' "$REPORT" || {
+  echo "FAIL: footer lacks env provenance" >&2; exit 1; }
 
-echo "obs smoke ok: metrics=$(wc -c <"$METRICS")B trace=$(wc -c <"$TRACE")B"
+# A report must diff cleanly against itself, even with a strict gate.
+"$RCOMPARE" --baseline="$REPORT" --current="$REPORT" --max-metric-drop=0.01 \
+  >/dev/null
+
+# An unwritable output path must fail fast with a warning, before training.
+if "$CLI" train --preset=tiny --model=GraphAug --epochs=1 \
+     --report-out="$WORK/no/such/dir/report.jsonl" --log-level=warn \
+     2>"$WORK/err.txt"; then
+  echo "FAIL: unwritable --report-out must exit non-zero" >&2; exit 1
+fi
+grep -q "not writable" "$WORK/err.txt" || {
+  echo "FAIL: unwritable path must print a warning" >&2; exit 1; }
+
+echo "obs smoke ok: metrics=$(wc -c <"$METRICS")B trace=$(wc -c <"$TRACE")B" \
+     "report=$(wc -c <"$REPORT")B"
