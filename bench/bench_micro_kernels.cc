@@ -36,6 +36,7 @@
 #include "models/propagation.h"
 #include "obs/memory.h"
 #include "obs/perf_counters.h"
+#include "obs/profiler.h"
 #include "tensor/init.h"
 #include "tensor/kernel_dispatch.h"
 #include "tensor/ops.h"
@@ -400,6 +401,18 @@ int RunKernelBaseline(const FlagParser& flags) {
       flags.GetString("json-out", "BENCH_kernels.json");
   const bool fast = flags.GetBool("fast", false);
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  // --profile-out=B samples every kernel case (all threads) into
+  // B.folded / B.json — the flamegraph answers "which loop inside gemm_nn
+  // ate the time", which the per-case wall numbers cannot.
+  const std::string profile_out = flags.GetString("profile-out", "");
+  if (!profile_out.empty() &&
+      !obs::StartProfiler(static_cast<int>(
+          flags.GetInt("profile-hz", obs::kDefaultProfileHz)))) {
+    std::fprintf(stderr,
+                 "warning: sampling profiler unavailable; %s.folded will be "
+                 "empty\n",
+                 profile_out.c_str());
+  }
 
   // Thread counts: 1, 2, 4, and hardware concurrency when it adds a new
   // point. (On narrow machines the higher counts still run — the runtime
@@ -559,6 +572,23 @@ int RunKernelBaseline(const FlagParser& flags) {
   std::fclose(f);
   ForceScalarKernels(false);
   SetNumThreads(0);
+  if (!profile_out.empty()) {
+    obs::StopProfiler();
+    const std::string folded = profile_out + ".folded";
+    const std::string json = profile_out + ".json";
+    if (obs::WriteProfileFolded(folded) && obs::WriteProfileJson(json)) {
+      const obs::ProfileSummary prof = obs::SummarizeProfile();
+      std::fprintf(stderr,
+                   "profile written to %s / %s (%lld samples, %.1f%% "
+                   "attributed)\n",
+                   folded.c_str(), json.c_str(),
+                   static_cast<long long>(prof.samples),
+                   100.0 * prof.attributed_frac);
+    } else {
+      std::fprintf(stderr, "cannot write profile %s\n", profile_out.c_str());
+      return 1;
+    }
+  }
   std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -17,6 +17,14 @@ std::mutex g_mu;
 int g_requested = 0;            // 0 = resolve automatically
 ThreadPool* g_pool = nullptr;   // lazily built; width == resolved count
 
+// Tag-observer callbacks (see ParallelTagObserver). Stored as separate
+// atomics so the dispatch path reads them lock-free; they are installed
+// together and the pool path tolerates any interleaving (a null enter
+// simply skips forwarding for that region).
+std::atomic<const void* (*)()> g_tag_capture{nullptr};
+std::atomic<const void* (*)(const void*)> g_tag_enter{nullptr};
+std::atomic<void (*)(const void*)> g_tag_exit{nullptr};
+
 std::atomic<int64_t> g_stat_pool_regions{0};
 std::atomic<int64_t> g_stat_serial_regions{0};
 std::atomic<int64_t> g_stat_pool_chunks{0};
@@ -71,6 +79,22 @@ void SetNumThreads(int n) {
 
 bool InParallelRegion() { return ThreadPool::InWorker(); }
 
+void SetWorkerThreadHooks(void (*on_start)(), void (*on_exit)()) {
+  ThreadPool::SetWorkerThreadHooks(on_start, on_exit);
+}
+
+void SetParallelTagObserver(const ParallelTagObserver& observer) {
+  g_tag_capture.store(observer.capture, std::memory_order_relaxed);
+  g_tag_enter.store(observer.enter, std::memory_order_relaxed);
+  g_tag_exit.store(observer.exit, std::memory_order_relaxed);
+}
+
+void ClearParallelTagObserver() {
+  g_tag_capture.store(nullptr, std::memory_order_relaxed);
+  g_tag_enter.store(nullptr, std::memory_order_relaxed);
+  g_tag_exit.store(nullptr, std::memory_order_relaxed);
+}
+
 ParallelStats GetParallelStats() {
   ParallelStats s;
   s.pool_regions = g_stat_pool_regions.load(std::memory_order_relaxed);
@@ -114,18 +138,39 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   g_stat_pool_regions.fetch_add(1, std::memory_order_relaxed);
   g_stat_pool_chunks.fetch_add((n + grain - 1) / grain,
                                std::memory_order_relaxed);
-  if (!g_stat_timing.load(std::memory_order_relaxed)) {
+  // Optional per-chunk wrappers, both observation-only (they never
+  // change the chunk walk or results): tag forwarding for the sampling
+  // profiler and busy/wall timing for the obs layer. The serial path
+  // above needs neither — the caller's own thread-local tag is already
+  // in scope there.
+  const void* (*tag_capture)() = g_tag_capture.load(std::memory_order_relaxed);
+  const void* (*tag_enter)(const void*) =
+      g_tag_enter.load(std::memory_order_relaxed);
+  void (*tag_exit)(const void*) = g_tag_exit.load(std::memory_order_relaxed);
+  const bool tagged = tag_capture != nullptr && tag_enter != nullptr &&
+                      tag_exit != nullptr;
+  const bool timed = g_stat_timing.load(std::memory_order_relaxed);
+  if (!tagged && !timed) {
     pool->ParallelForRange(begin, end, grain, fn);
     return;
   }
-  const int64_t wall_start = StatClockNs();
-  pool->ParallelForRange(begin, end, grain, [&fn](int64_t b, int64_t e) {
-    const int64_t t0 = StatClockNs();
-    fn(b, e);
-    g_stat_busy_ns.fetch_add(StatClockNs() - t0, std::memory_order_relaxed);
+  const void* token = tagged ? tag_capture() : nullptr;
+  const int64_t wall_start = timed ? StatClockNs() : 0;
+  pool->ParallelForRange(begin, end, grain, [&](int64_t b, int64_t e) {
+    const void* restore = tagged ? tag_enter(token) : nullptr;
+    if (timed) {
+      const int64_t t0 = StatClockNs();
+      fn(b, e);
+      g_stat_busy_ns.fetch_add(StatClockNs() - t0, std::memory_order_relaxed);
+    } else {
+      fn(b, e);
+    }
+    if (tagged) tag_exit(restore);
   });
-  g_stat_wall_ns.fetch_add(StatClockNs() - wall_start,
-                           std::memory_order_relaxed);
+  if (timed) {
+    g_stat_wall_ns.fetch_add(StatClockNs() - wall_start,
+                             std::memory_order_relaxed);
+  }
 }
 
 double ParallelReduce(

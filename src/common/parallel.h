@@ -53,6 +53,35 @@ double ParallelReduce(int64_t begin, int64_t end, int64_t grain,
 /// (i.e. it is a pool worker); nested ParallelFor calls run serially.
 bool InParallelRegion();
 
+/// Registers process-wide worker lifecycle hooks: `on_start` runs on
+/// each pool worker thread right after it starts, `on_exit` right
+/// before it terminates (pool teardown on SetNumThreads). Used by the
+/// sampling profiler (src/obs/profiler) to enroll every worker for
+/// per-thread sample timers. Install before the first parallel region
+/// (static-init is fine); workers created earlier miss the start hook.
+/// Hooks must not issue parallel regions. nullptr clears.
+void SetWorkerThreadHooks(void (*on_start)(), void (*on_exit)());
+
+/// Observer that forwards an opaque per-region tag from the thread that
+/// dispatches a parallel region to the workers executing its chunks.
+/// `capture` runs once on the dispatching thread per pool region;
+/// `enter` runs on the executing thread around every chunk with the
+/// captured token and returns the value to restore; `exit` restores it.
+/// The sampling profiler uses this to attribute worker-thread samples
+/// to the dispatching thread's active trace span / autograd op. All
+/// three callbacks must be cheap, non-blocking, and must not issue
+/// parallel regions; observation never changes chunking or results.
+struct ParallelTagObserver {
+  const void* (*capture)() = nullptr;
+  const void* (*enter)(const void* token) = nullptr;
+  void (*exit)(const void* restore) = nullptr;
+};
+
+/// Installs/removes the (single) tag observer. Install/clear only
+/// between parallel regions; in-flight regions may miss the change.
+void SetParallelTagObserver(const ParallelTagObserver& observer);
+void ClearParallelTagObserver();
+
 /// Aggregate activity of the parallel runtime since the last
 /// ResetParallelStats. Region/chunk counts are always maintained (one
 /// relaxed atomic add per region); busy/wall timing is only collected

@@ -11,6 +11,12 @@ namespace {
 /// so nested parallel regions degrade to serial execution.
 thread_local bool t_in_pool_worker = false;
 
+/// Worker lifecycle hooks (SetWorkerThreadHooks). Atomic so installation
+/// does not race worker startup; zero-initialized, hence safe to read
+/// from any static-initialization order.
+std::atomic<void (*)()> g_worker_start_hook{nullptr};
+std::atomic<void (*)()> g_worker_exit_hook{nullptr};
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -21,7 +27,11 @@ ThreadPool::ThreadPool(int num_threads) {
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] {
       t_in_pool_worker = true;
+      if (void (*hook)() = g_worker_start_hook.load(std::memory_order_acquire))
+        hook();
       WorkerLoop();
+      if (void (*hook)() = g_worker_exit_hook.load(std::memory_order_acquire))
+        hook();
     });
   }
 }
@@ -36,6 +46,11 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+void ThreadPool::SetWorkerThreadHooks(void (*on_start)(), void (*on_exit)()) {
+  g_worker_start_hook.store(on_start, std::memory_order_release);
+  g_worker_exit_hook.store(on_exit, std::memory_order_release);
+}
 
 void ThreadPool::Submit(std::function<void()> task) {
   {

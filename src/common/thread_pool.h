@@ -38,6 +38,14 @@ class ThreadPool {
   /// of deadlocking on Wait() from inside a task.
   static bool InWorker();
 
+  /// Process-wide worker lifecycle hooks, shared by every pool:
+  /// `on_start` runs on each worker thread as it starts, `on_exit` as it
+  /// terminates (destructor join). Exposed through
+  /// common/parallel.h::SetWorkerThreadHooks; the sampling profiler uses
+  /// them to enroll/retire worker threads. nullptr clears either hook;
+  /// workers started before installation miss the start hook.
+  static void SetWorkerThreadHooks(void (*on_start)(), void (*on_exit)());
+
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   /// Work is chunked into ~4 x num_threads() contiguous blocks (one
   /// closure per block, not per index) so the per-task dispatch cost is

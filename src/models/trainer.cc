@@ -19,6 +19,14 @@ TrainResult TrainAndEvaluate(Recommender* model, const Evaluator& evaluator,
     return model->ScoreUsers(users);
   };
 
+  // Profile exactly the training loop (epochs + evals), not setup or
+  // teardown, so sample shares line up with the epoch/eval spans. An
+  // already-running session (e.g. a caller profiling a wider scope) is
+  // left untouched and keeps sampling through the loop.
+  const bool profiling =
+      options.profile_hz > 0 && !obs::ProfilerRunning() &&
+      obs::StartProfiler(options.profile_hz);
+
   for (int epoch = 1; epoch <= options.epochs; ++epoch) {
     Stopwatch epoch_watch;
     double loss = 0;
@@ -93,6 +101,7 @@ TrainResult TrainAndEvaluate(Recommender* model, const Evaluator& evaluator,
     }
     if (stop_early) break;
   }
+  if (profiling) obs::StopProfiler();
   result.train_seconds = total.ElapsedSeconds();
   return result;
 }

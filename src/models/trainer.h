@@ -41,6 +41,13 @@ struct TrainOptions {
   /// and RSS. The caller owns the writer and its footer. Purely
   /// observational — training results are identical with or without it.
   obs::RunReportWriter* report = nullptr;
+  /// When > 0, the sampling CPU profiler (obs/profiler.h) runs at this
+  /// rate for the duration of the training loop, unless a session is
+  /// already active (the caller's scope then wins). Harvest with
+  /// obs::ProfileFoldedText()/ProfileJson() after return — the CLI's
+  /// --profile-out does. Sampling is observational only: results are
+  /// bitwise identical with it on or off, at any thread count.
+  int profile_hz = 0;
 };
 
 /// Drives epochs, periodic evaluation, learning-rate decay, early

@@ -111,6 +111,15 @@ std::string AsciiReport() {
   if (PerfCountersProbeFailed()) {
     os << "Perf counters: unavailable (perf_event_open denied)\n";
   }
+  if (ProfileSampleCount() > 0) {
+    const ProfileSummary prof = SummarizeProfile();
+    os << "Profiler: " << prof.samples << " samples @ " << ProfilerHz()
+       << " Hz across " << prof.threads << " threads ("
+       << prof.distinct_stacks << " stacks, " << prof.lost << " lost, "
+       << FormatDouble(100.0 * prof.attributed_frac, 1) << "% attributed)\n";
+  } else if (ProfilerProbeFailed()) {
+    os << "Profiler: unavailable (per-thread timers/signals denied)\n";
+  }
   const int64_t dropped = TraceDroppedTotal();
   if (dropped > 0) {
     os << "Trace: " << dropped << " events dropped (ring overflow)\n";
@@ -126,6 +135,7 @@ void ResetAll() {
   ResetParallelStats();
   ResetMemoryStats();
   ResetPerfRegions();
+  ResetProfile();
 }
 
 }  // namespace graphaug::obs

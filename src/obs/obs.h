@@ -8,6 +8,9 @@
 ///                                         epoch health + parallel stats)
 ///   --trace-out    -> WriteChromeTrace   (obs/trace.h)
 ///   --obs-report   -> AsciiReport        (printed to stdout)
+///   --profile-out  -> WriteProfileFolded + WriteProfileJson
+///                                        (obs/profiler.h, sampling
+///                                         profiler at --profile-hz)
 ///
 /// Gating matrix:
 ///   compile time  GRAPHAUG_NO_OBS        macros vanish, Enabled() is
@@ -26,6 +29,7 @@
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -45,7 +49,8 @@ bool WriteMetricsJson(const std::string& path);
 std::string AsciiReport();
 
 /// Resets every accumulator: metrics registry, autograd profiler, health
-/// tracker, trace buffers, parallel stats. Test helper.
+/// tracker, trace buffers, parallel stats, sampling profiler. Test
+/// helper.
 void ResetAll();
 
 }  // namespace graphaug::obs

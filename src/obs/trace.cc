@@ -100,6 +100,12 @@ void RecordTraceEvent(const char* name, int64_t ts_ns, int64_t dur_ns) {
   if (ring.events.size() < kRingCapacity) {
     ring.events.push_back(ev);
   } else {
+    // Overwriting silently truncates the exported trace; surface it as a
+    // counter so --metrics-out / --obs-report (and the --trace-out
+    // warning in the CLI) make the loss visible.
+    static Counter* dropped =
+        MetricsRegistry::Get().GetCounter("trace.dropped_events");
+    dropped->Inc();
     ring.events[ring.next] = ev;
     ring.next = (ring.next + 1) % kRingCapacity;
   }

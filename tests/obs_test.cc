@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -63,6 +64,30 @@ TEST_F(ObsTest, HistogramQuantilesInterpolateWithinBuckets) {
   // Out-of-range q is clamped, not UB.
   EXPECT_DOUBLE_EQ(h->Quantile(-1.0), h->Quantile(0.0));
   EXPECT_DOUBLE_EQ(h->Quantile(2.0), h->Quantile(1.0));
+}
+
+TEST_F(ObsTest, HistogramQuantileEdgeCases) {
+  obs::Histogram* h = obs::MetricsRegistry::Get().GetHistogram(
+      "test.quant_edge", {10.0, 20.0, 40.0});
+  // Empty histogram: every quantile is 0 (no estimate), even the extremes.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 0.0);
+  // A single observation interpolates within its bucket by rank.
+  h->Observe(5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 0.0);   // bucket lower edge
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 5.0);   // bucket midpoint
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 10.0);  // bucket upper edge
+  // Observations beyond the last bound clamp to it even when the
+  // overflow bucket holds every sample.
+  h->Reset();
+  for (int i = 0; i < 3; ++i) h->Observe(1e9);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.01), 40.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 40.0);
+  // A first bucket with a negative bound anchors at that bound, not 0.
+  obs::Histogram* neg = obs::MetricsRegistry::Get().GetHistogram(
+      "test.quant_neg", {-5.0, 5.0});
+  neg->Observe(-10.0);
+  EXPECT_DOUBLE_EQ(neg->Quantile(0.5), -5.0);
 }
 
 TEST_F(ObsTest, HistogramBucketEdges) {
@@ -161,6 +186,29 @@ TEST_F(ObsTest, TraceDisabledRecordsNothing) {
   std::string err;
   EXPECT_TRUE(obs::JsonLint(json, &err)) << err;
   EXPECT_EQ(json.find("should_not_appear"), std::string::npos);
+}
+
+TEST_F(ObsTest, TraceOverflowCountsDroppedEvents) {
+#if !GRAPHAUG_OBS_ENABLED
+  GTEST_SKIP() << "built with GRAPHAUG_NO_OBS";
+#endif
+  obs::SetEnabled(true);
+  obs::SetTraceEnabled(true);
+  // One past-capacity burst on a single thread: every overwritten event
+  // must show up in the dropped totals, the trace.dropped_events counter
+  // (what the CLI's truncation warning reads), and the exported JSON.
+  constexpr int64_t kCapacity = int64_t{1} << 16;  // per-thread ring size
+  constexpr int64_t kOverflow = 5;
+  for (int64_t i = 0; i < kCapacity + kOverflow; ++i) {
+    obs::RecordTraceEvent("flood", /*ts_ns=*/i, /*dur_ns=*/1);
+  }
+  EXPECT_EQ(obs::TraceEventTotal(), kCapacity + kOverflow);
+  EXPECT_EQ(obs::TraceDroppedTotal(), kOverflow);
+  const auto counters = obs::MetricsRegistry::Get().CounterSnapshot();
+  ASSERT_TRUE(counters.count("trace.dropped_events"));
+  EXPECT_EQ(counters.at("trace.dropped_events"), kOverflow);
+  const std::string json = obs::ChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\": 5"), std::string::npos);
 }
 
 // ---------------------------------------------------- autograd profiler
@@ -344,6 +392,90 @@ TEST_F(ObsTest, PerfCountersDegradeGracefully) {
   EXPECT_TRUE(obs::JsonLint(obs::PerfJson(), &err)) << err;
 }
 
+// ------------------------------------------------------ sampling profiler
+
+/// Burns roughly `seconds` of CPU in a frame the symbolizer must be able
+/// to name. noinline keeps it a real stack frame in Release builds; the
+/// volatile accumulator keeps the loop from being folded away.
+__attribute__((noinline)) double ObsTestProfilerSpin(double seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<int64_t>(seconds * 1e6));
+  volatile double sink = 1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 4000; ++i) sink = sink * 1.0000001 + 1e-9;
+  }
+  return sink;
+}
+
+TEST_F(ObsTest, SamplingProfilerCapturesNamedFramesAndSpanTags) {
+#if !GRAPHAUG_OBS_ENABLED
+  GTEST_SKIP() << "built with GRAPHAUG_NO_OBS";
+#endif
+  obs::SetEnabled(true);
+  if (!obs::StartProfiler(/*hz=*/4000)) {
+    EXPECT_TRUE(obs::ProfilerProbeFailed());
+    GTEST_SKIP() << "per-thread CPU timers unavailable in this environment";
+  }
+  EXPECT_TRUE(obs::ProfilerRunning());
+  double sink = 0.0;
+  {
+    GA_TRACE_SPAN("obs_test_span");
+    sink = ObsTestProfilerSpin(0.4);
+  }
+  obs::StopProfiler();
+  EXPECT_NE(sink, 0.0);
+  EXPECT_FALSE(obs::ProfilerRunning());
+  // The kernel tick caps CPU-time timer delivery well below the requested
+  // rate, so only presence is asserted, not the count.
+  ASSERT_GT(obs::ProfileSampleCount(), 0)
+      << "no SIGPROF ticks during 400ms of CPU spin";
+  const std::string folded = obs::ProfileFoldedText();
+  EXPECT_NE(folded.find("ObsTestProfilerSpin"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("span:obs_test_span"), std::string::npos) << folded;
+  const obs::ProfileSummary sum = obs::SummarizeProfile();
+  EXPECT_EQ(sum.samples, obs::ProfileSampleCount());
+  EXPECT_GE(sum.threads, 1);
+  // The spin dominates the profile and its frames resolve via the ELF
+  // symtab, so attribution cannot collapse to "[unknown]".
+  EXPECT_GE(sum.attributed_frac, 0.5);
+  std::string err;
+  EXPECT_TRUE(obs::JsonLint(obs::ProfileJson(), &err)) << err;
+  EXPECT_TRUE(obs::WriteProfileFolded(::testing::TempDir() +
+                                      "/obs_test_profile.folded"));
+}
+
+TEST_F(ObsTest, SamplingProfilerSamplesPoolWorkersWithInheritedTags) {
+#if !GRAPHAUG_OBS_ENABLED
+  GTEST_SKIP() << "built with GRAPHAUG_NO_OBS";
+#endif
+  obs::SetEnabled(true);
+  const int prev_threads = NumThreads();
+  SetNumThreads(3);
+  // Warm the pool so the worker threads exist (and self-enroll) before
+  // the session starts.
+  ParallelFor(0, 4, 1, [](int64_t, int64_t) {});
+  if (!obs::StartProfiler(/*hz=*/4000)) {
+    SetNumThreads(prev_threads);
+    GTEST_SKIP() << "per-thread CPU timers unavailable in this environment";
+  }
+  {
+    // The dispatching thread's span is captured at ParallelFor and
+    // re-published on every worker chunk, so samples landing in worker
+    // threads carry the same tag as the caller's.
+    GA_TRACE_SPAN("pool_span");
+    ParallelFor(0, 4, 1, [](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) ObsTestProfilerSpin(0.1);
+    });
+  }
+  obs::StopProfiler();
+  SetNumThreads(prev_threads);
+  ASSERT_GT(obs::ProfileSampleCount(), 0)
+      << "no SIGPROF ticks during 400ms of pooled CPU spin";
+  const std::string folded = obs::ProfileFoldedText();
+  EXPECT_NE(folded.find("span:pool_span"), std::string::npos) << folded;
+}
+
 // ----------------------------------------------------------- run reports
 
 TEST_F(ObsTest, RunReportWriterEmitsValidJsonl) {
@@ -488,9 +620,13 @@ std::vector<Matrix> TrainTinyGraphAug(bool instrumented) {
   obs::SetEnabled(instrumented);
   obs::SetTraceEnabled(instrumented);
   // The instrumented run also carries the full passive tooling — memory
-  // accounting is always on, and the RSS sampler polls in the
-  // background — so the bitwise comparison below covers it all.
+  // accounting is always on, the RSS sampler polls in the background,
+  // and the sampling profiler interrupts the training threads with
+  // SIGPROF — so the bitwise comparison below covers it all. StartProfiler
+  // may fail where per-thread CPU timers are denied; the run is then
+  // simply unprofiled, which the comparison covers too.
   if (instrumented) obs::RssSampler::Get().Start(/*period_ms=*/5);
+  if (instrumented) obs::StartProfiler();
   SyntheticData data = GeneratePreset("tiny");
   GraphAug model(&data.dataset, ObsTinyConfig());
   for (int e = 0; e < 2; ++e) model.TrainEpoch();
@@ -498,6 +634,7 @@ std::vector<Matrix> TrainTinyGraphAug(bool instrumented) {
   for (const Parameter* p : model.params()->params()) {
     values.push_back(p->value);
   }
+  if (instrumented) obs::StopProfiler();
   if (instrumented) obs::RssSampler::Get().Stop();
   obs::SetEnabled(false);
   obs::SetTraceEnabled(false);

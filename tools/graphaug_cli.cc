@@ -71,7 +71,16 @@ int Usage() {
       "  --report-out=F   (train) append one JSONL record per epoch (loss\n"
       "                   breakdown, grad/param norms, timing, memory) plus\n"
       "                   a footer (env, config, final metrics); diff two\n"
-      "                   runs with tools/report_compare\n");
+      "                   runs with tools/report_compare\n"
+      "  --profile-out=B  run the sampling CPU profiler and write B.folded\n"
+      "                   (collapsed stacks, flamegraph.pl-ready) and\n"
+      "                   B.json (top-N self/total table, span shares) on\n"
+      "                   exit; inspect with tools/profile_report. For\n"
+      "                   train the profiled scope is the training loop,\n"
+      "                   otherwise the whole subcommand\n"
+      "  --profile-hz=N   sampling rate per thread in Hz of CPU time\n"
+      "                   (default 997; kernel tick caps the effective\n"
+      "                   rate). Only meaningful with --profile-out\n");
   return 2;
 }
 
@@ -193,6 +202,12 @@ int CmdTrain(const FlagParser& flags) {
       flags.GetInt("eval-every", std::max(1, options.epochs / 4)));
   options.patience = static_cast<int>(flags.GetInt("patience", 0));
   options.verbose = flags.GetBool("verbose", true);
+  // The trainer scopes the profiling session to the training loop, so
+  // dataset generation and model setup do not dilute the span shares.
+  if (!flags.GetString("profile-out", "").empty()) {
+    options.profile_hz = static_cast<int>(
+        flags.GetInt("profile-hz", obs::kDefaultProfileHz));
+  }
   obs::RunReportWriter report;
   const std::string report_out = flags.GetString("report-out", "");
   if (!report_out.empty()) {
@@ -371,16 +386,24 @@ int Main(int argc, char** argv) {
   const std::string metrics_out = flags.GetString("metrics-out", "");
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string report_out = flags.GetString("report-out", "");
+  const std::string profile_out = flags.GetString("profile-out", "");
+  const int profile_hz = static_cast<int>(
+      flags.GetInt("profile-hz", obs::kDefaultProfileHz));
+  const std::string profile_folded =
+      profile_out.empty() ? "" : profile_out + ".folded";
+  const std::string profile_json =
+      profile_out.empty() ? "" : profile_out + ".json";
   const bool obs_report = flags.GetBool("obs-report", false);
   const bool obs_on =
       !metrics_out.empty() || !trace_out.empty() || !report_out.empty() ||
-      obs_report;
+      !profile_out.empty() || obs_report;
   if (obs_on) obs::SetEnabled(true);
   if (!trace_out.empty()) obs::SetTraceEnabled(true);
   // Fail loudly before any work if an output path is unwritable: probing
   // with "a" creates the file without clobbering an existing one, so a
   // typo'd directory is caught in milliseconds, not after training.
-  for (const std::string& path : {metrics_out, trace_out, report_out}) {
+  for (const std::string& path :
+       {metrics_out, trace_out, report_out, profile_folded, profile_json}) {
     if (path.empty()) continue;
     FILE* probe = std::fopen(path.c_str(), "a");
     if (probe == nullptr) {
@@ -394,6 +417,16 @@ int Main(int argc, char** argv) {
   // between epoch boundaries still show up in reports.
   if (obs_on) obs::RssSampler::Get().Start();
   const std::string& cmd = flags.positional()[0];
+  // train scopes its own profiling session to the training loop (see
+  // TrainOptions::profile_hz); every other subcommand is profiled whole.
+  if (!profile_out.empty() && cmd != "train") {
+    if (!obs::StartProfiler(profile_hz)) {
+      std::fprintf(stderr,
+                   "warning: sampling profiler unavailable (per-thread "
+                   "timers/signals denied); %s will be empty\n",
+                   profile_folded.c_str());
+    }
+  }
   int rc;
   if (cmd == "generate") {
     rc = CmdGenerate(flags);
@@ -409,13 +442,42 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   obs::RssSampler::Get().Stop();
+  obs::StopProfiler();
   if (!trace_out.empty()) {
     if (obs::WriteChromeTrace(trace_out)) {
       std::fprintf(stderr, "trace written to %s (%lld events)\n",
                    trace_out.c_str(),
                    static_cast<long long>(obs::TraceEventTotal()));
+      // A full ring overwrites oldest-first, so the exported trace is
+      // silently missing its beginning — say so instead of letting a
+      // truncated timeline masquerade as a complete one.
+      const int64_t dropped = obs::TraceDroppedTotal();
+      if (dropped > 0) {
+        std::fprintf(stderr,
+                     "warning: trace is truncated — %lld oldest events were "
+                     "dropped due to ring-buffer overflow (see the "
+                     "trace.dropped_events counter); earliest spans are "
+                     "missing from %s\n",
+                     static_cast<long long>(dropped), trace_out.c_str());
+      }
     } else {
       std::fprintf(stderr, "cannot write trace %s\n", trace_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!profile_out.empty()) {
+    if (obs::WriteProfileFolded(profile_folded) &&
+        obs::WriteProfileJson(profile_json)) {
+      const obs::ProfileSummary prof = obs::SummarizeProfile();
+      std::fprintf(stderr,
+                   "profile written to %s / %s (%lld samples, %lld lost, "
+                   "%.1f%% attributed)\n",
+                   profile_folded.c_str(), profile_json.c_str(),
+                   static_cast<long long>(prof.samples),
+                   static_cast<long long>(prof.lost),
+                   100.0 * prof.attributed_frac);
+    } else {
+      std::fprintf(stderr, "cannot write profile %s\n", profile_out.c_str());
       rc = rc == 0 ? 1 : rc;
     }
   }

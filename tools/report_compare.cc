@@ -117,11 +117,16 @@ int Compare(const Run& base, const Run& cur, double max_drop) {
   DiffStringSection(base, cur, "config");
   DiffStringSection(base, cur, "env");
 
+  // Diff only the epochs both runs share, then note the leftover tails in
+  // one line each. Runs legitimately differ in length (early stopping,
+  // different --epochs) and a per-row "(not in ...)" line per missing
+  // epoch drowned the real deltas in noise.
   std::printf("epoch  d_loss     d_recall20  time_ratio  peakmem_ratio\n");
+  std::vector<int> base_only, cur_only;
   for (const auto& [epoch, a] : base.epochs) {
     const auto it = cur.epochs.find(epoch);
     if (it == cur.epochs.end()) {
-      std::printf("%5d  (not in current run)\n", epoch);
+      base_only.push_back(epoch);
       continue;
     }
     const JsonValue& b = it->second;
@@ -139,8 +144,16 @@ int Compare(const Run& base, const Run& cur, double max_drop) {
   }
   for (const auto& [epoch, b] : cur.epochs) {
     if (base.epochs.find(epoch) == base.epochs.end()) {
-      std::printf("%5d  (not in baseline run)\n", epoch);
+      cur_only.push_back(epoch);
     }
+  }
+  if (!base_only.empty()) {
+    std::printf("note: %zu epoch(s) only in baseline run (%d..%d)\n",
+                base_only.size(), base_only.front(), base_only.back());
+  }
+  if (!cur_only.empty()) {
+    std::printf("note: %zu epoch(s) only in current run (%d..%d)\n",
+                cur_only.size(), cur_only.front(), cur_only.back());
   }
 
   int failures = 0;
@@ -183,12 +196,16 @@ int SelfTest() {
       "\"peak_bytes\":1000}\n"
       "{\"type\":\"epoch\",\"epoch\":2,\"loss\":0.5,\"recall20\":0.10,"
       "\"epoch_seconds\":1.0,\"peak_bytes\":1000}\n"
+      "{\"type\":\"epoch\",\"epoch\":4,\"loss\":0.45,\"epoch_seconds\":1.0,"
+      "\"peak_bytes\":1000}\n"
       "{\"type\":\"footer\",\"config\":{\"model\":\"GraphAug\",\"dim\":\"32\"},"
       "\"env\":{\"git_sha\":\"aaa\"},"
       "\"metrics\":{\"recall@20\":0.10,\"ndcg@20\":0.05},"
       "\"train_seconds\":2.0,\"peak_bytes\":1000,\"rss_peak_bytes\":5000}\n";
   // Same shape, recall@20 drops 0.10 -> 0.08 (-20%): fails a 10% gate,
-  // passes a 30% one; config dim differs.
+  // passes a 30% one; config dim differs. Epoch 4 exists only in the
+  // baseline and epoch 3 only in the current run, so both tail-note
+  // branches of the epoch diff run (the gate ignores them).
   const std::string cur_text =
       "{\"type\":\"epoch\",\"epoch\":1,\"loss\":0.8,\"epoch_seconds\":2.0,"
       "\"peak_bytes\":2000}\n"
@@ -207,7 +224,7 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: parse failed: %s\n", error.c_str());
     return 1;
   }
-  if (base.epochs.size() != 2 || cur.epochs.size() != 3 ||
+  if (base.epochs.size() != 3 || cur.epochs.size() != 3 ||
       !base.has_footer || !cur.has_footer) {
     std::fprintf(stderr, "selftest: wrong record counts\n");
     return 1;

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # Observability smoke test: trains GraphAug for two epochs on the tiny
-# synthetic preset with metrics + trace + run-report export enabled, then
-# checks that the artifacts exist, lint as JSON / JSONL (via the
-# json_check tool, which uses the same obs::JsonLint the unit tests
-# exercise), contain the sections the instrumentation layer promises, and
-# that the run report self-diffs cleanly through report_compare.
-# Registered as a ctest (run_obs_smoke) from tools/CMakeLists.txt.
+# synthetic preset with metrics + trace + run-report + sampling-profiler
+# export enabled, then checks that the artifacts exist, lint as JSON /
+# JSONL (via the json_check tool, which uses the same obs::JsonLint the
+# unit tests exercise), contain the sections the instrumentation layer
+# promises, that the run report self-diffs cleanly through
+# report_compare, and that the folded profile digests through
+# profile_report. Registered as a ctest (run_obs_smoke) from
+# tools/CMakeLists.txt.
 #
-# Usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN REPORT_COMPARE_BIN
+# Usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN REPORT_COMPARE_BIN \
+#        PROFILE_REPORT_BIN
 set -euo pipefail
 
-USAGE="usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN REPORT_COMPARE_BIN"
+USAGE="usage: run_obs_smoke.sh GRAPHAUG_BIN JSON_CHECK_BIN REPORT_COMPARE_BIN PROFILE_REPORT_BIN"
 CLI=${1:?$USAGE}
 CHECK=${2:?$USAGE}
 RCOMPARE=${3:?$USAGE}
+PREPORT=${4:?$USAGE}
 
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
@@ -21,17 +25,38 @@ trap 'rm -rf "$WORK"' EXIT
 METRICS="$WORK/metrics.json"
 TRACE="$WORK/trace.json"
 REPORT="$WORK/report.jsonl"
+PROFILE="$WORK/profile"
 
 "$CLI" train --preset=tiny --model=GraphAug --epochs=2 --eval-every=2 \
   --metrics-out="$METRICS" --trace-out="$TRACE" --report-out="$REPORT" \
+  --profile-out="$PROFILE" --profile-hz=4000 \
   --obs-report --log-level=warn
 
 [ -s "$METRICS" ] || { echo "FAIL: $METRICS missing or empty" >&2; exit 1; }
 [ -s "$TRACE" ]   || { echo "FAIL: $TRACE missing or empty" >&2; exit 1; }
 [ -s "$REPORT" ]  || { echo "FAIL: $REPORT missing or empty" >&2; exit 1; }
+[ -f "$PROFILE.folded" ] || {
+  echo "FAIL: $PROFILE.folded missing" >&2; exit 1; }
+[ -s "$PROFILE.json" ] || {
+  echo "FAIL: $PROFILE.json missing or empty" >&2; exit 1; }
 
-"$CHECK" "$METRICS" "$TRACE"
+"$CHECK" "$METRICS" "$TRACE" "$PROFILE.json"
 "$CHECK" --jsonl "$REPORT"
+
+# The profile JSON must always be valid and self-describing. Stack checks
+# are gated on samples actually landing: a 2-epoch tiny train on a slow /
+# heavily ticked kernel can finish with zero SIGPROF deliveries, which is
+# a documented property of CPU-time timers, not a failure.
+grep -q '"available"' "$PROFILE.json" || {
+  echo "FAIL: profile JSON lacks availability marker" >&2; exit 1; }
+if [ -s "$PROFILE.folded" ]; then
+  grep -q '^span:' "$PROFILE.folded" || {
+    echo "FAIL: folded stacks lack span attribution roots" >&2; exit 1; }
+  "$PREPORT" "$PROFILE.folded" --top=10 >/dev/null
+  "$PREPORT" --baseline="$PROFILE.folded" --current="$PROFILE.folded" \
+    --top=5 >/dev/null
+fi
+"$PREPORT" --selftest >/dev/null
 
 for key in '"metrics"' '"autograd_ops"' '"epochs"' '"parallel"' \
            '"memory"' '"perf"' '"live_bytes"' '"p95"'; do
