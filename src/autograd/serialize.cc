@@ -8,20 +8,31 @@
 #include "common/logging.h"
 
 namespace graphaug {
+
+namespace io {
+
+void WriteMatrix(std::ostream& out, const Matrix& m) {
+  WritePod(out, static_cast<int64_t>(m.rows()));
+  WritePod(out, static_cast<int64_t>(m.cols()));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+
+bool ReadMatrix(std::istream& in, Matrix* m) {
+  int64_t rows = 0, cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) return false;
+  if (rows < 0 || cols < 0) return false;
+  *m = Matrix(rows, cols);
+  in.read(reinterpret_cast<char*>(m->data()),
+          static_cast<std::streamsize>(m->size() * sizeof(float)));
+  return in.good() || m->size() == 0;
+}
+
+}  // namespace io
+
 namespace {
 
 constexpr char kMagic[8] = {'G', 'A', 'C', 'K', 'P', 'T', '0', '1'};
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return in.good();
-}
 
 }  // namespace
 
@@ -30,15 +41,12 @@ bool SaveCheckpoint(const ParamStore& store, const std::string& path) {
   if (!out) return false;
   out.write(kMagic, sizeof(kMagic));
   const uint64_t count = store.params().size();
-  WritePod(out, count);
+  io::WritePod(out, count);
   for (const Parameter* p : store.params()) {
     const uint32_t name_len = static_cast<uint32_t>(p->name.size());
-    WritePod(out, name_len);
+    io::WritePod(out, name_len);
     out.write(p->name.data(), name_len);
-    WritePod(out, static_cast<int64_t>(p->value.rows()));
-    WritePod(out, static_cast<int64_t>(p->value.cols()));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    io::WriteMatrix(out, p->value);
   }
   return out.good();
 }
@@ -56,14 +64,14 @@ bool LoadCheckpoint(ParamStore* store, const std::string& path) {
   for (Parameter* p : store->params()) by_name[p->name] = p;
 
   uint64_t count = 0;
-  if (!ReadPod(in, &count)) return false;
+  if (!io::ReadPod(in, &count)) return false;
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len)) return false;
+    if (!io::ReadPod(in, &name_len)) return false;
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
     int64_t rows = 0, cols = 0;
-    if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) return false;
+    if (!io::ReadPod(in, &rows) || !io::ReadPod(in, &cols)) return false;
     const int64_t n = rows * cols;
     const auto it = by_name.find(name);
     if (it == by_name.end()) {

@@ -1,7 +1,9 @@
 #ifndef GRAPHAUG_AUTOGRAD_SERIALIZE_H_
 #define GRAPHAUG_AUTOGRAD_SERIALIZE_H_
 
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "autograd/param.h"
 
@@ -21,6 +23,49 @@ bool SaveCheckpoint(const ParamStore& store, const std::string& path);
 /// the file are left untouched; extra file entries are ignored. Returns
 /// false on I/O failure or a shape mismatch.
 bool LoadCheckpoint(ParamStore* store, const std::string& path);
+
+/// Low-level little-endian binary helpers shared by the checkpoint format
+/// above and sibling on-disk artifacts (the retrieval index in
+/// src/retrieval/mips_index persists itself alongside checkpoints with
+/// these). Vectors are length-prefixed (uint64 count), matrices are
+/// (int64 rows, int64 cols, float payload); readers return false on
+/// stream failure and leave the output unspecified.
+namespace io {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+template <typename T>
+void WritePodVec(std::ostream& out, const std::vector<T>& v) {
+  WritePod(out, static_cast<uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPodVec(std::istream& in, std::vector<T>* v) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  // Guard against a corrupted length conjuring a giant allocation: the
+  // payload must actually be present in the stream.
+  v->assign(static_cast<size_t>(count), T{});
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return in.good() || (count == 0 && !in.bad());
+}
+
+void WriteMatrix(std::ostream& out, const Matrix& m);
+bool ReadMatrix(std::istream& in, Matrix* m);
+
+}  // namespace io
 
 }  // namespace graphaug
 

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "obs/trace.h"
+#include "retrieval/topk.h"
+#include "tensor/ops.h"
 
 namespace graphaug {
 
@@ -139,6 +141,89 @@ TopKMetrics Evaluator::EvaluateUsers(const ScoreFn& scorer,
       [this](int32_t u) -> const std::vector<int32_t>& {
         return test_items_[u];
       });
+}
+
+TopKMetrics Evaluator::EvaluateRetrieval(
+    const retrieval::Retriever& retriever,
+    const Matrix& user_embeddings) const {
+  return EvaluateRetrievalUsers(retriever, user_embeddings, evaluable_users_);
+}
+
+TopKMetrics Evaluator::EvaluateRetrievalUsers(
+    const retrieval::Retriever& retriever, const Matrix& user_embeddings,
+    const std::vector<int32_t>& users) const {
+  GA_TRACE_SPAN("eval_retrieval");
+  GA_CHECK_EQ(user_embeddings.rows(),
+              static_cast<int64_t>(dataset_->num_users));
+  TopKMetrics m;
+  m.ks = ks_;
+  m.recall.assign(ks_.size(), 0);
+  m.ndcg.assign(ks_.size(), 0);
+  m.precision.assign(ks_.size(), 0);
+  m.hit_rate.assign(ks_.size(), 0);
+  m.map.assign(ks_.size(), 0);
+  m.mrr.assign(ks_.size(), 0);
+
+  std::vector<int32_t> batch_users;
+  for (int32_t u : users) {
+    if (u >= 0 && u < dataset_->num_users && !test_items_[u].empty()) {
+      batch_users.push_back(u);
+    }
+  }
+  if (batch_users.empty()) return m;
+
+  // One batched retrieval over every evaluated user; the retriever owns
+  // the parallelism (deterministic at any thread count). Training items
+  // are excluded at the source instead of masked to -inf — both paths
+  // produce the same finite-score ranking prefix, and masked items can
+  // never be relevant (train and test are disjoint), so metrics match the
+  // dense oracle exactly for exact retrievers.
+  const Matrix queries = GatherRows(user_embeddings, batch_users);
+  std::vector<retrieval::TopKList> lists;
+  retriever.RetrieveBatch(
+      queries, max_k_,
+      [&](int64_t qi) -> const std::vector<int32_t>& {
+        return train_items_[batch_users[static_cast<size_t>(qi)]];
+      },
+      &lists);
+
+  // Metric accumulation replicates the dense path's exact summation
+  // structure — per-kBatch-chunk partials merged in chunk order — so the
+  // resulting doubles are bit-for-bit identical to Evaluate() when the
+  // retriever is exact (same per-user values, same addition grouping).
+  constexpr int64_t kBatch = 128;
+  const int64_t num_users = static_cast<int64_t>(batch_users.size());
+  const int64_t num_chunks = (num_users + kBatch - 1) / kBatch;
+  std::vector<MetricPartial> partials(static_cast<size_t>(num_chunks),
+                                      MetricPartial(ks_.size()));
+  for (int64_t i = 0; i < num_users; ++i) {
+    MetricPartial& p = partials[static_cast<size_t>(i / kBatch)];
+    const int32_t u = batch_users[static_cast<size_t>(i)];
+    AccumulateUserMetrics(lists[static_cast<size_t>(i)].items, test_items_[u],
+                          ks_, &p.recall, &p.ndcg, &p.precision, &p.hit_rate,
+                          &p.map, &p.mrr);
+  }
+  for (const MetricPartial& p : partials) {
+    for (size_t ki = 0; ki < ks_.size(); ++ki) {
+      m.recall[ki] += p.recall[ki];
+      m.ndcg[ki] += p.ndcg[ki];
+      m.precision[ki] += p.precision[ki];
+      m.hit_rate[ki] += p.hit_rate[ki];
+      m.map[ki] += p.map[ki];
+      m.mrr[ki] += p.mrr[ki];
+    }
+  }
+  m.num_users = static_cast<int>(num_users);
+  const double inv = 1.0 / m.num_users;
+  for (size_t ki = 0; ki < ks_.size(); ++ki) {
+    m.recall[ki] *= inv;
+    m.ndcg[ki] *= inv;
+    m.precision[ki] *= inv;
+    m.hit_rate[ki] *= inv;
+    m.map[ki] *= inv;
+    m.mrr[ki] *= inv;
+  }
+  return m;
 }
 
 TopKMetrics Evaluator::EvaluateItemGroup(

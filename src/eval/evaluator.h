@@ -10,6 +10,10 @@
 
 namespace graphaug {
 
+namespace retrieval {
+class Retriever;
+}  // namespace retrieval
+
 /// Full-ranking top-K evaluator. For each evaluated user the model scores
 /// every item, training interactions are masked out, and the top-max(K)
 /// ranking is compared against the held-out test items — the protocol of
@@ -45,6 +49,24 @@ class Evaluator {
   /// group's items surface against full competition.
   TopKMetrics EvaluateItemGroup(const ScoreFn& scorer,
                                 const std::vector<int32_t>& item_group) const;
+
+  /// Retrieval-backed evaluation (DESIGN.md §10): instead of scoring the
+  /// full item matrix per user, asks `retriever` for each user's
+  /// top-max(K) items with that user's training interactions excluded.
+  /// `user_embeddings` is the (num_users x d) query table, matched by row
+  /// to user id. With an exact retriever (TopKScorer; MipsIndex at
+  /// bound_slack = 1) the metrics are bit-for-bit identical to
+  /// Evaluate() on the corresponding factored scorer — the dense path
+  /// stays available as the correctness oracle. With an approximate
+  /// retriever the gap is the recall loss, which tests and the bench
+  /// gate bound.
+  TopKMetrics EvaluateRetrieval(const retrieval::Retriever& retriever,
+                                const Matrix& user_embeddings) const;
+
+  /// Retrieval-backed EvaluateUsers.
+  TopKMetrics EvaluateRetrievalUsers(const retrieval::Retriever& retriever,
+                                     const Matrix& user_embeddings,
+                                     const std::vector<int32_t>& users) const;
 
   /// Users that have at least one test interaction.
   const std::vector<int32_t>& evaluable_users() const {

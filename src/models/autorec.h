@@ -17,6 +17,7 @@ class AutoRec : public Recommender {
 
   std::string name() const override { return "AutoR"; }
   Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  bool factored_scoring() const override { return false; }
 
  protected:
   Var BuildLoss(Tape* tape, const TripletBatch& batch) override;

@@ -15,6 +15,8 @@ class BiasMf : public Recommender {
 
   std::string name() const override { return "BiasMF"; }
   Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  /// Bias terms make the score more than a dot product.
+  bool factored_scoring() const override { return false; }
 
  protected:
   Var BuildLoss(Tape* tape, const TripletBatch& batch) override;
@@ -37,6 +39,7 @@ class Ncf : public Recommender {
 
   std::string name() const override { return "NCF"; }
   Matrix ScoreUsers(const std::vector<int32_t>& users) const override;
+  bool factored_scoring() const override { return false; }
 
  protected:
   Var BuildLoss(Tape* tape, const TripletBatch& batch) override;

@@ -61,6 +61,13 @@ class Recommender {
   /// Scores all items for the given users: (|users| x num_items).
   virtual Matrix ScoreUsers(const std::vector<int32_t>& users) const;
 
+  /// True when ScoreUsers is exactly the dot product of the finalized
+  /// embedding tables — the contract the retrieval engines
+  /// (src/retrieval/) accelerate. Models with a non-factored scorer
+  /// (NCF's MLP, AutoRec's reconstruction) return false and must be
+  /// served by the dense path.
+  virtual bool factored_scoring() const { return true; }
+
   /// Finalized user embedding table (I x d).
   const Matrix& user_embeddings() const { return user_emb_; }
   /// Finalized item embedding table (J x d).

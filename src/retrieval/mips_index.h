@@ -1,0 +1,125 @@
+#ifndef GRAPHAUG_RETRIEVAL_MIPS_INDEX_H_
+#define GRAPHAUG_RETRIEVAL_MIPS_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "retrieval/topk.h"
+#include "tensor/matrix.h"
+
+namespace graphaug::retrieval {
+
+/// Build-time knobs of the pruned MIPS index.
+struct MipsIndexConfig {
+  /// Cluster count for the inverted lists; 0 means ceil(sqrt(num_items)),
+  /// clamped to [1, num_items]. 1 degenerates to a single norm-sorted
+  /// list (pure Cauchy–Schwarz pruning, no cluster bounds).
+  int num_clusters = 0;
+  /// Lloyd iterations for the k-means bucketing (deterministic random-row
+  /// seeding from `seed`).
+  int kmeans_iterations = 10;
+  /// Independent Lloyd restarts; the run with the highest total cosine
+  /// objective wins. Restarts defend against bad local optima (two item
+  /// communities merged into one wide cone cripples pruning).
+  int kmeans_restarts = 4;
+  uint64_t seed = 0x5eed;
+  /// Bound relaxation in (0, 1]. 1.0 prunes only provably-unbeatable
+  /// clusters/items, so retrieval is exact (recall 1.0 vs the dense
+  /// oracle). Values < 1 shrink the upper bounds before comparing against
+  /// the heap floor, trading recall for deeper pruning.
+  float bound_slack = 1.0f;
+};
+
+/// Pruned maximum-inner-product index over a trained item embedding table
+/// (DESIGN.md §10). Two stacked bounds avoid scoring most items:
+///
+///  * Cone bound. Items are bucketed by spherical k-means on their
+///    directions; cluster c keeps a unit centroid mu_c and an angular
+///    radius theta_c = max_i angle(x_i, mu_c). For a query at angle
+///    theta_q from mu_c, every item obeys angle(q, x_i) >=
+///    max(0, theta_q - theta_c), hence q·x <= ||q||·||x_i||·cone_c where
+///    cone_c = cos(max(0, theta_q - theta_c)). Clustering directions
+///    (not raw vectors) keeps the buckets tight even when item norms are
+///    heavily skewed, which is exactly the regime trained recommender
+///    embeddings live in. Clusters are visited in decreasing bound order
+///    (bound = ||q||·max-norm·cone, or min-norm when the cone factor is
+///    negative) and the scan stops at the first cluster whose bound
+///    cannot beat the current top-k floor.
+///  * Item-norm bound. Within a cluster, items are stored sorted by
+///    ||x_i|| descending, and q·x <= ||q||·||x_i||·cone_c cuts the list
+///    off at the first item whose bound falls below the floor.
+///
+/// Bounds are evaluated in double with a small safety margin, and the
+/// floor comparison is strict, so at bound_slack = 1 no item that could
+/// enter the top-k (ties included) is ever pruned: results are identical
+/// to the dense oracle. Exact scores are computed with the same
+/// ascending-k float accumulation as the dispatched GEMM, so even the
+/// tie-breaking matches bit for bit.
+///
+/// The index owns a packed copy of the embeddings (rows grouped by
+/// cluster, norm-descending within each cluster) and is self-contained:
+/// Save/Load round-trips everything next to the model checkpoint.
+class MipsIndex : public Retriever {
+ public:
+  /// Empty index; populate with Build() or Load().
+  MipsIndex() = default;
+
+  /// Builds the index from an item embedding table (J x d). Deterministic
+  /// given the config seed; parallel over items via the shared runtime.
+  static MipsIndex Build(const Matrix& item_embeddings,
+                         const MipsIndexConfig& config = {});
+
+  std::string name() const override { return "pruned"; }
+
+  void RetrieveBatch(const Matrix& queries, int k, const ExcludeFn& exclude,
+                     std::vector<TopKList>* out) const override;
+
+  /// Serializes the full index (versioned binary, like checkpoints).
+  bool Save(const std::string& path) const;
+  /// Loads an index written by Save. Returns false on I/O failure, bad
+  /// magic, or inconsistent section sizes; `*index` is untouched then.
+  static bool Load(const std::string& path, MipsIndex* index);
+
+  int64_t num_items() const { return static_cast<int64_t>(ids_.size()); }
+  int64_t dim() const { return packed_.cols(); }
+  int num_clusters() const { return static_cast<int>(cluster_cos_.size()); }
+  const MipsIndexConfig& config() const { return config_; }
+
+  /// Read-only views of the packed layout, for tests and diagnostics.
+  const Matrix& packed() const { return packed_; }
+  const Matrix& centroids() const { return centroids_; }
+  const std::vector<int32_t>& ids() const { return ids_; }
+  const std::vector<float>& norms() const { return norms_; }
+  const std::vector<float>& cluster_cos() const { return cluster_cos_; }
+  const std::vector<int64_t>& cluster_begin() const { return cluster_begin_; }
+
+ private:
+  bool CheckConsistent() const;
+  /// Rebuilds pack8_/panel_base_ from the packed rows (after Build/Load).
+  void InitPanels();
+
+  MipsIndexConfig config_;
+  Matrix packed_;              ///< J x d, grouped by cluster, norm-desc
+  std::vector<int32_t> ids_;   ///< packed row -> original item id
+  std::vector<float> norms_;   ///< ||x|| per packed row
+  Matrix centroids_;           ///< k x d unit direction centroids
+  std::vector<float> cluster_cos_;  ///< cos(angular radius) per cluster
+  std::vector<float> cluster_sin_;  ///< sin(angular radius) per cluster
+  std::vector<int64_t> cluster_begin_;  ///< k+1 packed-row offsets
+  /// Scan-time copy of packed_ in lane-major panels: each cluster's rows
+  /// are regrouped into blocks of 8 items stored interleaved
+  /// (pack8[j*8 + t] = item_t[j], zero-padded past the cluster end), so
+  /// the hot scoring loop reads 8 contiguous floats per dimension and
+  /// vectorizes. Each lane still accumulates ascending-j with separate
+  /// multiply and add, so scores stay bitwise identical to the scalar
+  /// loop. Derived data — rebuilt by InitPanels(), never serialized.
+  std::vector<float> pack8_;
+  std::vector<int64_t> panel_base_;  ///< per cluster, float offset into pack8_
+  std::vector<float> cluster_max_norm_;  ///< norms_[begin] per cluster (0 if empty)
+  std::vector<float> cluster_min_norm_;  ///< norms_[end-1] per cluster (0 if empty)
+};
+
+}  // namespace graphaug::retrieval
+
+#endif  // GRAPHAUG_RETRIEVAL_MIPS_INDEX_H_

@@ -72,6 +72,16 @@ struct KernelTable {
   double (*exp_sum)(const float* a, int64_t n, float mx);
   /// out[i] = u * exp(a[i] - l) — the LogSumExpRows backward row.
   void (*exp_scale)(const float* a, float l, float u, float* out, int64_t n);
+
+  // ------------------------------------- retrieval panel scan (§10)
+  /// Scores n consecutive lane-major panels (each 8 items x d dims,
+  /// panel[j*8 + t] = item_t[j], panels contiguous at stride 8*d) against
+  /// one query: out[p*8 + t] = sum over ascending j of q[j]*panel_p[j*8+t].
+  /// BITWISE IDENTICAL across tables: each lane is its own ascending-j
+  /// multiply-then-add chain (no FMA, no cross-lane reduction), which is
+  /// exactly the scalar one-item loop and the GEMM's per-element order.
+  void (*score_panels)(const float* q, const float* panels, int64_t d,
+                       int64_t n, float* out);
 };
 
 /// Portable baseline table; always valid.

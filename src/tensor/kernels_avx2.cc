@@ -375,11 +375,42 @@ void ExpScaleAvx2(const float* a, float l, float u, float* out, int64_t n) {
   }
 }
 
+/// Each panel's 8 lanes live in one ymm accumulator updated with separate
+/// mul/add per j — bitwise the scalar per-lane chain. Pairs of panels run
+/// in two independent accumulators to hide the FP-add latency of a lone
+/// ascending-j chain.
+void ScorePanelsAvx2(const float* q, const float* panels, int64_t d,
+                     int64_t n, float* out) {
+  int64_t p = 0;
+  for (; p + 2 <= n; p += 2) {
+    const float* p0 = panels + p * 8 * d;
+    const float* p1 = p0 + 8 * d;
+    __m256 a0 = _mm256_setzero_ps();
+    __m256 a1 = _mm256_setzero_ps();
+    for (int64_t j = 0; j < d; ++j) {
+      const __m256 qj = _mm256_broadcast_ss(q + j);
+      a0 = _mm256_add_ps(a0, _mm256_mul_ps(qj, _mm256_loadu_ps(p0 + j * 8)));
+      a1 = _mm256_add_ps(a1, _mm256_mul_ps(qj, _mm256_loadu_ps(p1 + j * 8)));
+    }
+    _mm256_storeu_ps(out + p * 8, a0);
+    _mm256_storeu_ps(out + (p + 1) * 8, a1);
+  }
+  if (p < n) {
+    const float* p0 = panels + p * 8 * d;
+    __m256 a0 = _mm256_setzero_ps();
+    for (int64_t j = 0; j < d; ++j) {
+      const __m256 qj = _mm256_broadcast_ss(q + j);
+      a0 = _mm256_add_ps(a0, _mm256_mul_ps(qj, _mm256_loadu_ps(p0 + j * 8)));
+    }
+    _mm256_storeu_ps(out + p * 8, a0);
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     "avx2",        GemmMicroAvx2, SpmmSegmentAvx2, AddAvx2,
     SubAvx2,       MulAvx2,       ScaleAvx2,       AxpyAvx2,
     SumAvx2,       SqnormAvx2,    DotAvx2,         MaxAbsAvx2,
-    RowMaxAvx2,    ExpSumAvx2,    ExpScaleAvx2,
+    RowMaxAvx2,    ExpSumAvx2,    ExpScaleAvx2,    ScorePanelsAvx2,
 };
 
 }  // namespace

@@ -103,11 +103,42 @@ void ExpScaleScalar(const float* a, float l, float u, float* out, int64_t n) {
   for (int64_t i = 0; i < n; ++i) out[i] = u * std::exp(a[i] - l);
 }
 
+/// Panels are scored in pairs so at least 16 independent accumulator
+/// chains are in flight (a lone chain is FP-add latency-bound); each lane
+/// keeps its own ascending-j separate-multiply-then-add chain, so every
+/// score is bitwise what the one-item-at-a-time loop produces.
+void ScorePanelsScalar(const float* q, const float* panels, int64_t d,
+                       int64_t n, float* out) {
+  int64_t p = 0;
+  for (; p + 2 <= n; p += 2) {
+    const float* p0 = panels + p * 8 * d;
+    const float* p1 = p0 + 8 * d;
+    float a0[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    float a1[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    for (int64_t j = 0; j < d; ++j) {
+      const float qj = q[j];
+      for (int t = 0; t < 8; ++t) a0[t] += qj * p0[j * 8 + t];
+      for (int t = 0; t < 8; ++t) a1[t] += qj * p1[j * 8 + t];
+    }
+    for (int t = 0; t < 8; ++t) out[p * 8 + t] = a0[t];
+    for (int t = 0; t < 8; ++t) out[(p + 1) * 8 + t] = a1[t];
+  }
+  if (p < n) {
+    const float* p0 = panels + p * 8 * d;
+    float a0[8] = {0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f};
+    for (int64_t j = 0; j < d; ++j) {
+      const float qj = q[j];
+      for (int t = 0; t < 8; ++t) a0[t] += qj * p0[j * 8 + t];
+    }
+    for (int t = 0; t < 8; ++t) out[p * 8 + t] = a0[t];
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     "scalar",        GemmMicroScalar, SpmmSegmentScalar, AddScalar,
     SubScalar,       MulScalar,       ScaleScalar,       AxpyScalar,
     SumScalar,       SqnormScalar,    DotScalar,         MaxAbsScalar,
-    RowMaxScalar,    ExpSumScalar,    ExpScaleScalar,
+    RowMaxScalar,    ExpSumScalar,    ExpScaleScalar,    ScorePanelsScalar,
 };
 
 }  // namespace

@@ -1,9 +1,10 @@
-// Benchmark regression gate: compares a freshly generated
-// BENCH_kernels.json against a committed baseline and fails when any
-// kernel's multi-thread speedup dropped by more than --max-drop (default
-// 10%), when absolute throughput falls below --min-gflops-ratio times
-// the baseline GFLOP/s (off by default), or when the fresh run reports a
-// determinism violation.
+// Benchmark regression gate: compares a freshly generated bench JSON
+// (BENCH_kernels.json, BENCH_topk.json, ...) against a committed baseline
+// and fails when any kernel's multi-thread speedup dropped by more than
+// --max-drop (default 10%), when absolute throughput falls below
+// --min-gflops-ratio times the baseline GFLOP/s (off by default), when a
+// quality floor is violated, or when the fresh run reports a determinism
+// violation.
 //
 // Speedup comparison is by (kernel name, thread count) on the
 // speedup_vs_1 ratio — a machine-relative quantity, so a baseline
@@ -14,9 +15,22 @@
 // present on one side only are reported but never fail the gate, so the
 // baseline can grow; points without a gflops column skip the floor.
 //
+// Quality floors (for retrieval benches, see bench_topk):
+//   * --min-recall=R: every current point carrying a "recall" column must
+//     reach at least R. Baseline-independent — an absolute floor.
+//   * --min-dense-speedup=S [--dense-speedup-name=SUBSTR]: every current
+//     point carrying a "speedup_vs_dense" column (name containing SUBSTR
+//     when given) must reach at least S. Like speedup_vs_1 this is a
+//     ratio of two same-machine timings, so an absolute floor transfers
+//     across machines.
+//   * exact_match: a point whose baseline says exact_match=true must not
+//     report exact_match=false — exactness never regresses silently.
+//
 // Usage:
 //   bench_compare --baseline=BENCH_kernels.json --current=fresh.json
 //                 [--max-drop=0.10] [--min-gflops-ratio=0.5]
+//                 [--min-recall=0.99] [--min-dense-speedup=10]
+//                 [--dense-speedup-name=topk_pruned]
 //   bench_compare --selftest        # exercises the parser and the gate
 //
 // Exit codes: 0 ok, 1 regression (or determinism violation), 2 usage /
@@ -40,14 +54,27 @@ using json::ParseJson;
 
 // --------------------------------------------------------------- the gate
 
-/// speedup_vs_1, absolute throughput, and determinism per (kernel,
-/// threads). gflops < 0 means the run predates the throughput column.
+/// One (kernel, threads) measurement. gflops < 0, recall < 0,
+/// dense_speedup < 0, exact_match < 0 all mean "column absent".
 struct RunPoint {
   double speedup = 0;
   double gflops = -1;
+  double recall = -1;
+  double dense_speedup = -1;
+  int exact_match = -1;
   bool bitwise = true;
 };
 using RunTable = std::map<std::pair<std::string, int>, RunPoint>;
+
+/// Floors applied to the current run (absolute, baseline-independent
+/// except the exact_match regression check). <= 0 disables a floor.
+struct GateConfig {
+  double max_drop = 0.10;
+  double min_gflops_ratio = 0;
+  double min_recall = 0;
+  double min_dense_speedup = 0;
+  std::string dense_speedup_name;  ///< substring filter; empty = all
+};
 
 bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
   const JsonValue* kernels = root.Find("kernels");
@@ -67,6 +94,9 @@ bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
       const JsonValue* threads = r.Find("threads");
       const JsonValue* speedup = r.Find("speedup_vs_1");
       const JsonValue* gflops = r.Find("gflops");
+      const JsonValue* recall = r.Find("recall");
+      const JsonValue* dense = r.Find("speedup_vs_dense");
+      const JsonValue* exact = r.Find("exact_match");
       const JsonValue* bitwise = r.Find("bitwise_equal_to_serial");
       if (threads == nullptr || speedup == nullptr) {
         *error = "run entry missing \"threads\" or \"speedup_vs_1\"";
@@ -75,6 +105,9 @@ bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
       RunPoint p;
       p.speedup = speedup->number;
       if (gflops != nullptr) p.gflops = gflops->number;
+      if (recall != nullptr) p.recall = recall->number;
+      if (dense != nullptr) p.dense_speedup = dense->number;
+      if (exact != nullptr) p.exact_match = exact->boolean ? 1 : 0;
       p.bitwise = bitwise == nullptr || bitwise->boolean;
       (*out)[{name->str, static_cast<int>(threads->number)}] = p;
     }
@@ -82,15 +115,10 @@ bool ExtractRuns(const JsonValue& root, RunTable* out, std::string* error) {
   return true;
 }
 
-/// Returns the number of failures (regressions + determinism violations);
-/// prints one line per comparison point. Two independent criteria:
-///  * --max-drop on speedup_vs_1 (threads > 1): machine-relative scaling.
-///  * --min-gflops-ratio on absolute throughput (all thread counts,
-///    including serial): current must reach at least ratio * baseline
-///    GFLOP/s. Skipped when either side lacks the gflops column, so old
-///    baselines stay comparable. <= 0 disables.
+/// Returns the number of failures (regressions + determinism violations +
+/// floor violations); prints one line per comparison point.
 int Compare(const RunTable& baseline, const RunTable& current,
-            double max_drop, double min_gflops_ratio = 0) {
+            const GateConfig& gate) {
   int failures = 0;
   for (const auto& [key, base] : baseline) {
     const auto& [name, threads] = key;
@@ -107,27 +135,51 @@ int Compare(const RunTable& baseline, const RunTable& current,
       ++failures;
       continue;
     }
-    if (min_gflops_ratio > 0 && base.gflops > 0 && cur.gflops > 0) {
-      const bool bad = cur.gflops < min_gflops_ratio * base.gflops;
+    if (base.exact_match == 1 && cur.exact_match == 0) {
+      std::printf("FAIL  %-28s t=%d  exact_match regressed to false\n",
+                  name.c_str(), threads);
+      ++failures;
+    }
+    if (gate.min_gflops_ratio > 0 && base.gflops > 0 && cur.gflops > 0) {
+      const bool bad = cur.gflops < gate.min_gflops_ratio * base.gflops;
       std::printf(
           "%s  %-28s t=%d  baseline=%.3g GF/s current=%.3g GF/s "
           "(floor %.0f%%)\n",
           bad ? "FAIL" : "OK  ", name.c_str(), threads, base.gflops,
-          cur.gflops, 100.0 * min_gflops_ratio);
+          cur.gflops, 100.0 * gate.min_gflops_ratio);
       if (bad) ++failures;
     }
     if (threads <= 1) continue;  // the serial point defines the ratio
     const double drop = (base.speedup - cur.speedup) / base.speedup;
-    const bool bad = drop > max_drop;
+    const bool bad = drop > gate.max_drop;
     std::printf("%s  %-28s t=%d  baseline=%.3fx current=%.3fx drop=%+.1f%%\n",
                 bad ? "FAIL" : "OK  ", name.c_str(), threads, base.speedup,
                 cur.speedup, 100.0 * drop);
     if (bad) ++failures;
   }
+  // Absolute floors apply to every current point — including points with
+  // no baseline counterpart, so a freshly added kernel can't dodge them.
   for (const auto& [key, cur] : current) {
+    const auto& [name, threads] = key;
     if (baseline.find(key) == baseline.end()) {
       std::printf("NEW   %-28s t=%d  current=%.3fx (no baseline)\n",
-                  key.first.c_str(), key.second, cur.speedup);
+                  name.c_str(), threads, cur.speedup);
+    }
+    if (gate.min_recall > 0 && cur.recall >= 0) {
+      const bool bad = cur.recall < gate.min_recall;
+      std::printf("%s  %-28s t=%d  recall=%.4f (floor %.4f)\n",
+                  bad ? "FAIL" : "OK  ", name.c_str(), threads, cur.recall,
+                  gate.min_recall);
+      if (bad) ++failures;
+    }
+    if (gate.min_dense_speedup > 0 && cur.dense_speedup >= 0 &&
+        (gate.dense_speedup_name.empty() ||
+         name.find(gate.dense_speedup_name) != std::string::npos)) {
+      const bool bad = cur.dense_speedup < gate.min_dense_speedup;
+      std::printf("%s  %-28s t=%d  vs_dense=%.2fx (floor %.2fx)\n",
+                  bad ? "FAIL" : "OK  ", name.c_str(), threads,
+                  cur.dense_speedup, gate.min_dense_speedup);
+      if (bad) ++failures;
     }
   }
   return failures;
@@ -208,15 +260,19 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: wrong table size\n");
     return 1;
   }
-  if (Compare(base, cur, 0.10) != 1) {
+  GateConfig g;
+  g.max_drop = 0.10;
+  if (Compare(base, cur, g) != 1) {
     std::fprintf(stderr, "selftest: 12.5%% drop must fail a 10%% gate\n");
     return 1;
   }
-  if (Compare(base, cur, 0.20) != 0) {
+  g.max_drop = 0.20;
+  if (Compare(base, cur, g) != 0) {
     std::fprintf(stderr, "selftest: 12.5%% drop must pass a 20%% gate\n");
     return 1;
   }
-  if (Compare(base, racy, 0.10) != 1) {
+  g.max_drop = 0.10;
+  if (Compare(base, racy, g) != 1) {
     std::fprintf(stderr, "selftest: determinism violation must fail\n");
     return 1;
   }
@@ -258,16 +314,101 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: gflops column misparsed\n");
     return 1;
   }
-  if (Compare(gf_base, gf_cur, 0.10, 0.5) != 0) {
+  GateConfig gf;
+  gf.max_drop = 0.10;
+  gf.min_gflops_ratio = 0.5;
+  if (Compare(gf_base, gf_cur, gf) != 0) {
     std::fprintf(stderr, "selftest: 60%% of baseline must pass a 0.5 floor\n");
     return 1;
   }
-  if (Compare(gf_base, gf_cur, 0.10, 0.8) != 1) {
+  gf.min_gflops_ratio = 0.8;
+  if (Compare(gf_base, gf_cur, gf) != 1) {
     std::fprintf(stderr, "selftest: 60%% of baseline must fail a 0.8 floor\n");
     return 1;
   }
-  if (Compare(gf_base, gf_cur, 0.10) != 0) {
+  gf.min_gflops_ratio = 0;
+  if (Compare(gf_base, gf_cur, gf) != 0) {
     std::fprintf(stderr, "selftest: floor must be off by default\n");
+    return 1;
+  }
+
+  // Retrieval columns: a topk baseline (exact pruned engine, 12x vs
+  // dense) against a current run whose pruned recall slipped to 0.985,
+  // exactness flipped to false, and dense speedup fell to 8x. The heap
+  // row stays exact with recall 1. Expected failures:
+  //   * --min-recall=0.99: pruned recall 0.985 fails (heap passes).
+  //   * exact_match true -> false: pruned fails regardless of floors.
+  //   * --min-dense-speedup=10 scoped to "pruned": 8x fails; unscoped it
+  //     also catches the heap row (1.2x), adding one more failure.
+  const std::string tk_base_json = R"({
+    "kernels": [
+      {"name": "topk_heap/3000x1500", "shape": "x", "runs": [
+        {"threads": 1, "seconds": 0.03, "speedup_vs_1": 1.0,
+         "speedup_vs_dense": 1.1, "recall": 1.0, "exact_match": true,
+         "bitwise_equal_to_serial": true}]},
+      {"name": "topk_pruned/3000x1500", "shape": "x", "runs": [
+        {"threads": 1, "seconds": 0.003, "speedup_vs_1": 1.0,
+         "speedup_vs_dense": 12.0, "recall": 1.0, "exact_match": true,
+         "bitwise_equal_to_serial": true}]}
+    ]})";
+  const std::string tk_cur_json = R"({
+    "kernels": [
+      {"name": "topk_heap/3000x1500", "shape": "x", "runs": [
+        {"threads": 1, "seconds": 0.03, "speedup_vs_1": 1.0,
+         "speedup_vs_dense": 1.2, "recall": 1.0, "exact_match": true,
+         "bitwise_equal_to_serial": true}]},
+      {"name": "topk_pruned/3000x1500", "shape": "x", "runs": [
+        {"threads": 1, "seconds": 0.004, "speedup_vs_1": 1.0,
+         "speedup_vs_dense": 8.0, "recall": 0.985, "exact_match": false,
+         "bitwise_equal_to_serial": true}]}
+    ]})";
+  RunTable tk_base, tk_cur;
+  if (!parse(tk_base_json, &tk_base) || !parse(tk_cur_json, &tk_cur)) {
+    std::fprintf(stderr, "selftest: topk parse failed\n");
+    return 1;
+  }
+  if (tk_base.at({"topk_pruned/3000x1500", 1}).recall != 1.0 ||
+      tk_base.at({"topk_pruned/3000x1500", 1}).dense_speedup != 12.0 ||
+      tk_base.at({"topk_pruned/3000x1500", 1}).exact_match != 1 ||
+      tk_cur.at({"topk_pruned/3000x1500", 1}).exact_match != 0) {
+    std::fprintf(stderr, "selftest: retrieval columns misparsed\n");
+    return 1;
+  }
+  GateConfig tk;
+  tk.max_drop = 0.10;
+  if (Compare(tk_base, tk_cur, tk) != 1) {
+    std::fprintf(stderr, "selftest: exact_match regression must fail\n");
+    return 1;
+  }
+  tk.min_recall = 0.99;
+  if (Compare(tk_base, tk_cur, tk) != 2) {
+    std::fprintf(stderr, "selftest: recall 0.985 must fail a 0.99 floor\n");
+    return 1;
+  }
+  tk.min_recall = 0.98;
+  if (Compare(tk_base, tk_cur, tk) != 1) {
+    std::fprintf(stderr, "selftest: recall 0.985 must pass a 0.98 floor\n");
+    return 1;
+  }
+  tk.min_recall = 0;
+  tk.min_dense_speedup = 10.0;
+  tk.dense_speedup_name = "topk_pruned";
+  if (Compare(tk_base, tk_cur, tk) != 2) {
+    std::fprintf(stderr, "selftest: 8x must fail a scoped 10x floor\n");
+    return 1;
+  }
+  tk.dense_speedup_name.clear();
+  if (Compare(tk_base, tk_cur, tk) != 3) {
+    std::fprintf(stderr, "selftest: unscoped floor must catch the heap row\n");
+    return 1;
+  }
+  // The baseline itself must clear its own gate.
+  GateConfig clean;
+  clean.min_recall = 0.99;
+  clean.min_dense_speedup = 10.0;
+  clean.dense_speedup_name = "topk_pruned";
+  if (Compare(tk_base, tk_base, clean) != 0) {
+    std::fprintf(stderr, "selftest: baseline must pass its own floors\n");
     return 1;
   }
   std::printf("bench_compare selftest: ok\n");
@@ -279,12 +420,19 @@ int Run(int argc, char** argv) {
   if (flags.GetBool("selftest", false)) return SelfTest();
   const std::string baseline_path = flags.GetString("baseline", "");
   const std::string current_path = flags.GetString("current", "");
-  const double max_drop = flags.GetDouble("max-drop", 0.10);
-  const double min_gflops_ratio = flags.GetDouble("min-gflops-ratio", 0.0);
+  GateConfig gate;
+  gate.max_drop = flags.GetDouble("max-drop", 0.10);
+  gate.min_gflops_ratio = flags.GetDouble("min-gflops-ratio", 0.0);
+  gate.min_recall = flags.GetDouble("min-recall", 0.0);
+  gate.min_dense_speedup = flags.GetDouble("min-dense-speedup", 0.0);
+  gate.dense_speedup_name = flags.GetString("dense-speedup-name", "");
   if (baseline_path.empty() || current_path.empty()) {
-    std::fprintf(stderr,
-                 "usage: bench_compare --baseline=FILE --current=FILE "
-                 "[--max-drop=0.10] [--min-gflops-ratio=0.5] | --selftest\n");
+    std::fprintf(
+        stderr,
+        "usage: bench_compare --baseline=FILE --current=FILE "
+        "[--max-drop=0.10] [--min-gflops-ratio=0.5] [--min-recall=0.99] "
+        "[--min-dense-speedup=10] [--dense-speedup-name=SUBSTR] | "
+        "--selftest\n");
     return 2;
   }
   RunTable baseline, current;
@@ -292,14 +440,12 @@ int Run(int argc, char** argv) {
       !LoadRuns(current_path, &current)) {
     return 2;
   }
-  const int failures = Compare(baseline, current, max_drop, min_gflops_ratio);
+  const int failures = Compare(baseline, current, gate);
   if (failures > 0) {
-    std::printf("bench_compare: %d regression(s) beyond %.0f%%\n", failures,
-                100.0 * max_drop);
+    std::printf("bench_compare: %d gate failure(s)\n", failures);
     return 1;
   }
-  std::printf("bench_compare: all kernels within %.0f%% of baseline\n",
-              100.0 * max_drop);
+  std::printf("bench_compare: all kernels within gate limits\n");
   return 0;
 }
 

@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <string>
@@ -36,6 +37,9 @@
 #include "models/registry.h"
 #include "models/trainer.h"
 #include "obs/obs.h"
+#include "retrieval/mips_index.h"
+#include "retrieval/topk.h"
+#include "tensor/ops.h"
 
 namespace graphaug {
 namespace {
@@ -50,7 +54,14 @@ int Usage() {
       "            [--dim=N] [--layers=N] [--lr=F] [--checkpoint=FILE]\n"
       "            [--augmentor=NAME]  (GraphAug only)\n"
       "  recommend --dataset=FILE|--preset=NAME --checkpoint=FILE\n"
-      "            [--model=NAME] [--user=N] [--topk=N]\n"
+      "            [--model=NAME] [--user=N] [--topk=N] [--out=FILE]\n"
+      "            [--index=exact|heap|pruned]  (default heap)\n"
+      "              exact  dense oracle: score every item, rank the row\n"
+      "              heap   partial-heap top-K over GEMM tiles (identical\n"
+      "                     results, no full score row)\n"
+      "              pruned k-means + norm-bound pruned MIPS index\n"
+      "            [--index-in=FILE] [--index-out=FILE]  load / save the\n"
+      "              pruned index instead of / after building it\n"
       "  denoise   --dataset=FILE|--preset=NAME [--epochs=N] [--budget=F]\n"
       "            [--augmentor=NAME]\n"
       "  --augmentor=NAME selects the GraphAug view-generation strategy:\n"
@@ -273,6 +284,36 @@ int CmdTrain(const FlagParser& flags) {
 }
 
 int CmdRecommend(const FlagParser& flags) {
+  const std::string index_mode = flags.GetString("index", "heap");
+  if (index_mode != "exact" && index_mode != "heap" &&
+      index_mode != "pruned") {
+    std::fprintf(stderr,
+                 "recommend: unknown --index '%s' (expected "
+                 "exact|heap|pruned)\n",
+                 index_mode.c_str());
+    return 2;
+  }
+  const std::string index_in = flags.GetString("index-in", "");
+  const std::string index_out = flags.GetString("index-out", "");
+  if ((!index_in.empty() || !index_out.empty()) && index_mode != "pruned") {
+    std::fprintf(stderr,
+                 "recommend: --index-in/--index-out require "
+                 "--index=pruned\n");
+    return 2;
+  }
+  // Same fail-fast contract as --report-out: probe every output path
+  // before any model work, so a typo'd directory costs milliseconds.
+  const std::string out = flags.GetString("out", "");
+  for (const std::string& path : {out, index_out}) {
+    if (path.empty()) continue;
+    FILE* probe = std::fopen(path.c_str(), "a");
+    if (probe == nullptr) {
+      std::fprintf(stderr, "recommend: output path %s is not writable\n",
+                   path.c_str());
+      return 1;
+    }
+    std::fclose(probe);
+  }
   Dataset dataset;
   if (!ResolveDataset(flags, &dataset)) {
     std::fprintf(stderr, "recommend: cannot load dataset\n");
@@ -296,22 +337,99 @@ int CmdRecommend(const FlagParser& flags) {
     std::fprintf(stderr, "recommend: user %d out of range\n", user);
     return 2;
   }
-  Matrix scores = model->ScoreUsers({user});
-  // Mask already-seen items.
-  BipartiteGraph g = dataset.TrainGraph();
-  for (int32_t v : g.ItemsOf(user)) scores[v] = -1e30f;
-  Table t({"rank", "item", "score"});
-  for (int rank = 0; rank < topk; ++rank) {
-    int best = 0;
-    for (int v = 1; v < dataset.num_items; ++v) {
-      if (scores[v] > scores[best]) best = v;
-    }
-    t.AddRow({std::to_string(rank + 1), std::to_string(best),
-              FormatDouble(scores[best], 3)});
-    scores[best] = -1e30f;
+  if (index_mode != "exact" && !model->factored_scoring()) {
+    std::fprintf(stderr,
+                 "recommend: model '%s' has non-factored scoring; the "
+                 "retrieval engines serve dot-product models only "
+                 "(use --index=exact)\n",
+                 model->name().c_str());
+    return 2;
   }
-  std::printf("top-%d recommendations for user %d:\n%s", topk, user,
-              t.ToString().c_str());
+  BipartiteGraph g = dataset.TrainGraph();
+  std::vector<int32_t> seen = g.ItemsOf(user);
+  std::sort(seen.begin(), seen.end());
+
+  retrieval::TopKList list;
+  if (index_mode == "exact") {
+    // Dense oracle: score everything, mask seen items, rank the row with
+    // the library-wide tie-break (score desc, item id asc).
+    Matrix scores = model->ScoreUsers({user});
+    for (int32_t v : seen) {
+      scores[v] = -std::numeric_limits<float>::infinity();
+    }
+    std::vector<int32_t> order(dataset.num_items);
+    std::iota(order.begin(), order.end(), 0);
+    const int depth = std::min<int>(topk, dataset.num_items);
+    std::partial_sort(order.begin(), order.begin() + depth, order.end(),
+                      [&scores](int32_t a, int32_t b) {
+                        return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                      : a < b;
+                      });
+    for (int r = 0; r < depth; ++r) {
+      list.items.push_back(order[r]);
+      list.scores.push_back(scores[order[r]]);
+    }
+  } else {
+    const Matrix query = SliceRows(model->user_embeddings(), user, 1);
+    if (index_mode == "heap") {
+      retrieval::TopKScorer scorer(model->item_embeddings());
+      list = scorer.Retrieve(query, topk, seen);
+    } else {
+      retrieval::MipsIndex index;
+      if (!index_in.empty()) {
+        if (!retrieval::MipsIndex::Load(index_in, &index)) {
+          std::fprintf(stderr, "recommend: cannot load index %s\n",
+                       index_in.c_str());
+          return 1;
+        }
+        if (index.num_items() != dataset.num_items ||
+            index.dim() != model->item_embeddings().cols()) {
+          std::fprintf(stderr,
+                       "recommend: index %s does not match the checkpoint "
+                       "(%lld items x %lld dims vs %d x %lld)\n",
+                       index_in.c_str(),
+                       static_cast<long long>(index.num_items()),
+                       static_cast<long long>(index.dim()),
+                       dataset.num_items,
+                       static_cast<long long>(
+                           model->item_embeddings().cols()));
+          return 1;
+        }
+      } else {
+        index = retrieval::MipsIndex::Build(model->item_embeddings());
+      }
+      if (!index_out.empty()) {
+        if (!index.Save(index_out)) {
+          std::fprintf(stderr, "recommend: cannot write index %s\n",
+                       index_out.c_str());
+          return 1;
+        }
+        std::fprintf(stderr, "index saved to %s\n", index_out.c_str());
+      }
+      list = index.Retrieve(query, topk, seen);
+    }
+  }
+
+  Table t({"rank", "item", "score"});
+  for (size_t r = 0; r < list.items.size(); ++r) {
+    t.AddRow({std::to_string(r + 1), std::to_string(list.items[r]),
+              FormatDouble(list.scores[r], 3)});
+  }
+  const std::string header = "top-" + std::to_string(topk) +
+                             " recommendations for user " +
+                             std::to_string(user) + " (--index=" +
+                             index_mode + "):\n";
+  std::printf("%s%s", header.c_str(), t.ToString().c_str());
+  if (!out.empty()) {
+    FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "recommend: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s%s", header.c_str(), t.ToString().c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "recommendations written to %s\n", out.c_str());
+  }
   return 0;
 }
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the Address+UBSanitizer preset and runs the memory-sensitive
-# tests (the parallel runtime + the CSR mirror / tiled-cursor indexing
-# tests) under ASan+UBSan. Any error aborts the run.
+# tests (the parallel runtime, the CSR mirror / tiled-cursor indexing
+# tests, and the retrieval engines — the panel scan walks zero-padded
+# packed buffers whose indexing must never stray) under ASan+UBSan.
+# Any error aborts the run.
 #
 # Usage: tools/run_asan.sh [extra ctest args...]
 set -euo pipefail
@@ -9,10 +11,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset asan
-cmake --build --preset asan --target parallel_test graph_test -j "$(nproc)"
+cmake --build --preset asan \
+  --target parallel_test graph_test retrieval_test -j "$(nproc)"
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}" \
   ctest --test-dir build-asan --output-on-failure \
-        -R '^(parallel_test|graph_test)$' "$@"
+        -R '^(parallel_test|graph_test|retrieval_test)$' "$@"
 
-echo "asan: parallel_test + graph_test clean"
+echo "asan: parallel_test + graph_test + retrieval_test clean"

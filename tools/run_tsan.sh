@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Builds the ThreadSanitizer preset and runs the concurrency-sensitive
-# tests (the parallel runtime stress tests plus the CSR/transpose-cache
-# tests) under TSan. Any data race aborts the run (halt_on_error=1).
+# tests (the parallel runtime stress tests, the CSR/transpose-cache
+# tests, and the retrieval engines — RetrieveBatch fans out over the
+# shared pool and bumps shared obs counters) under TSan. Any data race
+# aborts the run (halt_on_error=1).
 #
 # Usage: tools/run_tsan.sh [extra ctest args...]
 set -euo pipefail
@@ -9,10 +11,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset tsan
-cmake --build --preset tsan --target parallel_test graph_test -j "$(nproc)"
+cmake --build --preset tsan \
+  --target parallel_test graph_test retrieval_test -j "$(nproc)"
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir build-tsan --output-on-failure \
-        -R '^(parallel_test|graph_test)$' "$@"
+        -R '^(parallel_test|graph_test|retrieval_test)$' "$@"
 
-echo "tsan: parallel_test + graph_test clean"
+echo "tsan: parallel_test + graph_test + retrieval_test clean"
